@@ -1,0 +1,58 @@
+"""Ablation (design choice): coherent exploration episodes.
+
+The tile-shared allocator couples layers that pick the same crossbar
+shape (they pool their tile waste), creating multiple reward basins.
+Per-layer independent noise cannot hop between basins on deep models —
+this is the failure mode that made early ResNet152 searches converge to
+the wrong (576x512-heavy) basin.  Coherent episodes — every layer
+perturbing one shared action — let the critic observe whole basins.
+
+This bench runs the ResNet152 search with coherent episodes disabled vs
+the default, same seeds and budget.
+
+Expected shape: the coherent-exploration search finds a strictly better
+(or equal) strategy; without it, the search tends to plateau in the
+576x512 basin.
+"""
+
+from conftest import run_once
+
+from repro.arch.config import DEFAULT_CANDIDATES
+from repro.bench import default_rounds
+from repro.bench.reporting import print_table
+from repro.core.autohet import AutoHet
+from repro.core.rl.ddpg import DDPGConfig
+from repro.models import resnet152
+from repro.sim import Simulator
+
+
+def run_exploration_ablation(rounds=None, seed=0):
+    rounds = rounds if rounds is not None else default_rounds()
+    net = resnet152()
+    sim = Simulator()
+    out = {}
+    for label, prob in (("no coherent episodes", 0.0), ("coherent (default)", None)):
+        cfg = (
+            DDPGConfig(seed=seed)
+            if prob is None
+            else DDPGConfig(seed=seed, coherent_episode_prob=prob)
+        )
+        engine = AutoHet(net, DEFAULT_CANDIDATES, sim, agent_config=cfg)
+        # Disable the homogeneous-probe warm start so the ablation
+        # isolates the exploration scheme itself.
+        result = engine.search(rounds, seed_homogeneous=False)
+        out[label] = result.best_metrics
+    return out
+
+
+def test_exploration_ablation(benchmark):
+    data = run_once(benchmark, run_exploration_ablation)
+    print_table(
+        ["exploration", "utilization_%", "energy_nJ", "RUE"],
+        [
+            (label, m.utilization_percent, m.energy_nj, m.rue)
+            for label, m in data.items()
+        ],
+        title="Ablation — coherent exploration (ResNet152)",
+    )
+    assert data["coherent (default)"].rue >= data["no coherent episodes"].rue

@@ -1,0 +1,63 @@
+"""Ablation (design choice): why the reward must be R = u / e.
+
+The paper's reward (Eq. 2) folds utilization and energy into one scalar.
+This bench re-runs the VGG16 search with three reward functions —
+utilization-only, energy-only, and the paper's ratio — and scores each
+learned strategy on the *joint* RUE metric.
+
+Expected shape: the single-objective rewards each optimise their own
+metric (utilization-only tops utilization; energy-only bottoms energy)
+but both lose on RUE to the paper's combined reward, demonstrating the
+§2.2 point that the two objectives conflict.
+"""
+
+from conftest import run_once
+
+from repro.arch.config import DEFAULT_CANDIDATES
+from repro.bench import default_rounds
+from repro.bench.reporting import print_table
+from repro.core.autohet import AutoHet
+from repro.core.rl.environment import (
+    reward_energy,
+    reward_rue,
+    reward_utilization,
+)
+from repro.models import vgg16
+from repro.sim import Simulator
+
+
+def run_reward_ablation(rounds=None, seed=0):
+    rounds = rounds if rounds is not None else default_rounds()
+    net = vgg16()
+    sim = Simulator()
+    out = {}
+    for label, fn in (
+        ("utilization-only", reward_utilization),
+        ("energy-only", reward_energy),
+        ("RUE (paper)", reward_rue),
+    ):
+        engine = AutoHet(net, DEFAULT_CANDIDATES, sim, reward_fn=fn, seed=seed)
+        result = engine.search(rounds)
+        out[label] = result.best_metrics
+    return out
+
+
+def test_reward_ablation(benchmark):
+    data = run_once(benchmark, run_reward_ablation)
+    print_table(
+        ["reward", "utilization_%", "energy_nJ", "RUE"],
+        [
+            (label, m.utilization_percent, m.energy_nj, m.rue)
+            for label, m in data.items()
+        ],
+        title="Ablation — reward function (VGG16)",
+    )
+    util_only = data["utilization-only"]
+    energy_only = data["energy-only"]
+    rue = data["RUE (paper)"]
+    # Each single-objective reward wins its own metric...
+    assert util_only.utilization >= rue.utilization - 1e-9
+    assert energy_only.energy_nj <= rue.energy_nj + 1e-9
+    # ...but the combined reward wins the joint metric.
+    assert rue.rue >= util_only.rue
+    assert rue.rue >= energy_only.rue

@@ -1,0 +1,75 @@
+"""Ablation (design choice): the RL search vs simpler search algorithms.
+
+Compares four strategy producers on VGG16 under the same candidate set
+and tile-shared allocation:
+
+* the per-layer utilization greedy (the Zhu-et-al.-style local heuristic
+  the paper's related work discusses);
+* uniform random search with the same evaluation budget;
+* coordinate-ascent greedy on the global reward;
+* the AutoHet DDPG search.
+
+Expected shape: AutoHet matches or beats random search and the
+utilization greedy on RUE; coordinate ascent is a strong upper-ish
+reference the RL search should approach.
+"""
+
+from conftest import run_once
+
+from repro.arch.config import DEFAULT_CANDIDATES
+from repro.bench import default_rounds
+from repro.bench.reporting import print_table
+from repro.core.autohet import autohet_search
+from repro.core.search import (
+    greedy_reward_strategy,
+    greedy_utilization_strategy,
+    random_search,
+    simulated_annealing,
+)
+from repro.models import vgg16
+from repro.sim import Simulator
+
+
+def run_search_comparison(rounds=None, seed=0):
+    rounds = rounds if rounds is not None else default_rounds()
+    net = vgg16()
+    sim = Simulator()
+    out = {}
+
+    util_greedy = greedy_utilization_strategy(net, DEFAULT_CANDIDATES)
+    out["utilization greedy"] = sim.evaluate(
+        net, util_greedy, tile_shared=True, detailed=False
+    )
+    _, rnd = random_search(
+        net, DEFAULT_CANDIDATES, sim, rounds=rounds, tile_shared=True, seed=seed
+    )
+    out["random search"] = rnd
+    coord = greedy_reward_strategy(net, DEFAULT_CANDIDATES, sim, tile_shared=True)
+    out["coordinate ascent"] = sim.evaluate(
+        net, coord, tile_shared=True, detailed=False
+    )
+    _, annealed = simulated_annealing(
+        net, DEFAULT_CANDIDATES, sim, rounds=rounds, tile_shared=True, seed=seed
+    )
+    out["simulated annealing"] = annealed
+    out["AutoHet (DDPG)"] = autohet_search(
+        net, DEFAULT_CANDIDATES, rounds=rounds, simulator=sim, seed=seed
+    ).best_metrics
+    return out
+
+
+def test_search_comparison(benchmark):
+    data = run_once(benchmark, run_search_comparison)
+    print_table(
+        ["search", "utilization_%", "energy_nJ", "RUE"],
+        [
+            (label, m.utilization_percent, m.energy_nj, m.rue)
+            for label, m in data.items()
+        ],
+        title="Ablation — search algorithm (VGG16)",
+    )
+    autohet = data["AutoHet (DDPG)"]
+    assert autohet.rue >= data["utilization greedy"].rue
+    assert autohet.rue >= 0.9 * data["random search"].rue
+    assert autohet.rue >= 0.75 * data["coordinate ascent"].rue
+    assert autohet.rue >= 0.9 * data["simulated annealing"].rue

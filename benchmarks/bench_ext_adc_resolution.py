@@ -1,0 +1,67 @@
+"""Extension: ADC-resolution sensitivity — why the paper sets 10 bits.
+
+§4.1: "We set the ADC revolution to 10-bit to support crossbars of all
+heterogeneous sizes."  The tallest candidate (576x512) can sum up to 576
+unit currents on one bitline; a b-bit ADC saturates beyond 2^b - 1.  This
+bench sweeps the ADC resolution and reports, per setting:
+
+* functional saturation events on a worst-case (all-ones) workload
+  through a 576-row crossbar,
+* the per-conversion energy and per-ADC area the resolution costs.
+
+Expected shape: resolutions below 10 bits clip on tall crossbars (lossy
+MVMs); 10 bits is the cheapest lossless setting; energy/area grow ~2x per
+extra bit beyond it.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.arch.config import CrossbarShape, HardwareConfig
+from repro.bench.reporting import print_table
+from repro.models.layers import LayerSpec
+from repro.sim.functional import FunctionalLayerEngine
+
+
+def run_adc_sweep(bits_range=(8, 9, 10, 11, 12)):
+    # Worst case: a 576-row crossbar fully programmed with the maximum
+    # encoded weight, driven by all-max inputs.
+    layer = LayerSpec.conv(64, 32, 3, input_size=8)  # 576 rows exactly
+    rows = layer.in_channels * layer.kernel_elems
+    assert rows == 576
+    wq = np.full((rows, 32), 127)
+    x = np.full((4, rows), 255)
+    out = {}
+    for bits in bits_range:
+        cfg = HardwareConfig(adc_bits=bits)
+        engine = FunctionalLayerEngine(layer, CrossbarShape(576, 512), wq, cfg)
+        result = engine.mvm_batch(x)
+        exact = x @ wq
+        out[bits] = {
+            "saturations": engine.counters.adc_saturations,
+            "exact": bool(np.array_equal(result, exact)),
+            "energy_nj_per_conv": cfg.energy_adc_nj(),
+            "area_um2_per_adc": cfg.area_adc_um2(),
+        }
+    return out
+
+
+def test_adc_resolution(benchmark):
+    data = run_once(benchmark, run_adc_sweep)
+    print_table(
+        ["ADC bits", "saturations", "bit-exact", "nJ/conversion", "um^2/ADC"],
+        [
+            (bits, row["saturations"], row["exact"],
+             row["energy_nj_per_conv"], row["area_um2_per_adc"])
+            for bits, row in data.items()
+        ],
+        title="Extension — ADC resolution on the tallest candidate (576 rows)",
+    )
+    # Below 10 bits: saturation on the worst case; 10+ bits: lossless.
+    assert data[8]["saturations"] > 0 and not data[8]["exact"]
+    assert data[9]["saturations"] > 0
+    for bits in (10, 11, 12):
+        assert data[bits]["saturations"] == 0 and data[bits]["exact"]
+    # Cost doubles per extra bit.
+    assert data[11]["energy_nj_per_conv"] == 2 * data[10]["energy_nj_per_conv"]
+    assert data[12]["area_um2_per_adc"] == 4 * data[10]["area_um2_per_adc"]

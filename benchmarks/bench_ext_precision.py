@@ -1,0 +1,64 @@
+"""Extension: weight/activation precision sweep.
+
+§4.1 fixes 8-bit weights on 1-bit cells (eight bit-slice crossbars per
+PE).  This extension sweeps the quantization width and, independently,
+the per-cell bit capacity (multi-level cells), reporting the energy and
+area of the best homogeneous VGG16 accelerator at each point.
+
+Expected shapes: energy and area scale with the number of physical
+bit-slice crossbars (weight_bits / cell_bits); multi-level cells trade
+that cost for tighter analog margins (not modelled — MLC rows simply
+shrink the group).
+"""
+
+from conftest import run_once
+
+from repro.arch.config import CrossbarShape, HardwareConfig
+from repro.bench.reporting import print_table
+from repro.models import vgg16
+from repro.sim import Simulator
+
+
+def run_precision_sweep():
+    net = vgg16()
+    shape = CrossbarShape(512, 512)
+    out = {}
+    for weight_bits, cell_bits in ((4, 1), (8, 1), (16, 1), (8, 2), (8, 4)):
+        cfg = HardwareConfig(
+            weight_bits=weight_bits, input_bits=weight_bits, cell_bits=cell_bits
+        )
+        sim = Simulator(cfg)
+        m = sim.evaluate_homogeneous(net, shape)
+        out[(weight_bits, cell_bits)] = {
+            "group": cfg.xbars_per_group,
+            "cycles": cfg.input_cycles,
+            "energy_nj": m.energy_nj,
+            "area_um2": m.area_um2,
+            "utilization": m.utilization_percent,
+        }
+    return out
+
+
+def test_precision_sweep(benchmark):
+    data = run_once(benchmark, run_precision_sweep)
+    print_table(
+        ["w bits", "cell bits", "XBs/group", "in cycles",
+         "energy_nJ", "area_um2", "util_%"],
+        [
+            (w, c, row["group"], row["cycles"], row["energy_nj"],
+             row["area_um2"], row["utilization"])
+            for (w, c), row in data.items()
+        ],
+        title="Extension — precision sweep (VGG16, 512x512 homogeneous)",
+    )
+    # Energy/area scale with the bit-slice group and input cycles.
+    assert data[(8, 1)]["energy_nj"] > data[(4, 1)]["energy_nj"]
+    assert data[(16, 1)]["energy_nj"] > data[(8, 1)]["energy_nj"]
+    assert data[(16, 1)]["area_um2"] > data[(8, 1)]["area_um2"]
+    # Multi-level cells shrink the group and with it energy and area.
+    assert data[(8, 2)]["group"] == 4
+    assert data[(8, 2)]["energy_nj"] < data[(8, 1)]["energy_nj"]
+    assert data[(8, 4)]["area_um2"] < data[(8, 2)]["area_um2"]
+    # Utilization is precision-independent (same logical mapping).
+    utils = {round(row["utilization"], 6) for row in data.values()}
+    assert len(utils) == 1

@@ -1,0 +1,27 @@
+"""Figure 10 — impact of individual techniques (Base / +He / +Hy / All).
+
+Regenerates the ablation: the best homogeneous SXB accelerator (Base),
+the RL search over heterogeneous squares (+He), the hybrid square +
+rectangle candidate set (+Hy), and the full system with the tile-shared
+allocation scheme (All), for all three models.
+
+Expected shapes (paper §4.3): each technique improves or maintains RUE;
++Hy's gain shows up mostly as an energy cut, All's mostly as a
+utilization lift.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig10_ablation, print_fig10
+
+
+def test_fig10_ablation(benchmark):
+    results = run_once(benchmark, fig10_ablation)
+    print_fig10(results)
+    for res in results:
+        base, he, hy, all_ = res.rows
+        assert he.rue >= 0.98 * base.rue
+        assert hy.rue >= 0.98 * he.rue
+        assert all_.rue >= 0.98 * hy.rue
+        # The full system beats the homogeneous baseline outright.
+        assert all_.rue > base.rue

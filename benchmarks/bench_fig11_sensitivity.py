@@ -1,0 +1,44 @@
+"""Figure 11 — sensitivity analysis (VGG16).
+
+Regenerates the three sweeps against Best-Homo (the highest-RUE
+homogeneous accelerator):
+
+* (a) SXB:RXB candidate-set composition — 2S3R / 3S2R / 4S1R;
+* (b) number of crossbar candidates — 2 / 4 / 8;
+* (c) PEs per tile — 8 / 16 / 32.
+
+Expected shapes (paper §4.4): AutoHet beats Best-Homo at every point;
+more rectangles help (a); more candidates widen the margin (b); AutoHet
+stays ahead across tile granularities (c).
+"""
+
+from conftest import run_once
+
+from repro.bench import (
+    fig11a_sxb_rxb_ratio,
+    fig11b_candidate_count,
+    fig11c_pes_per_tile,
+    print_fig11,
+)
+
+
+def test_fig11a_sxb_rxb_ratio(benchmark):
+    points = run_once(benchmark, fig11a_sxb_rxb_ratio)
+    print_fig11(points, panel="a", x_label="SXB:RXB ratio")
+    assert all(p.speedup >= 1.0 for p in points)
+    # More rectangles never hurt: 2S3R >= 4S1R.
+    assert points[0].autohet_rue >= 0.95 * points[-1].autohet_rue
+
+
+def test_fig11b_candidate_count(benchmark):
+    points = run_once(benchmark, fig11b_candidate_count)
+    print_fig11(points, panel="b", x_label="candidate count")
+    assert all(p.speedup >= 0.95 for p in points)
+    # Larger candidate sets give the agent at least as much headroom.
+    assert points[-1].autohet_rue >= 0.95 * points[0].autohet_rue
+
+
+def test_fig11c_pes_per_tile(benchmark):
+    points = run_once(benchmark, fig11c_pes_per_tile)
+    print_fig11(points, panel="c", x_label="PEs per tile")
+    assert all(p.speedup >= 1.0 for p in points)

@@ -1,0 +1,25 @@
+"""Figure 3 — homogeneous vs manual-heterogeneous crossbars (VGG16).
+
+Regenerates the motivation figure: utilization, energy, and RUE for the
+five homogeneous square sizes and the hand-tuned heterogeneous split
+(512x512 for the first ten layers, 256x256 for the last six).
+
+Expected shape (paper §2.2): homogeneous accelerators achieve either high
+utilization (32x32) or low energy (512x512) but never the best RUE; the
+manual heterogeneous configuration has the highest RUE.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig3_motivation, print_fig3
+
+
+def test_fig3_motivation(benchmark):
+    rows = run_once(benchmark, fig3_motivation)
+    print_fig3(rows)
+    # The paper's headline shape: Manual-Hetero wins RUE.
+    assert rows[-1].label == "Manual-Hetero"
+    assert rows[-1].rue == max(r.rue for r in rows)
+    # Energy decreases monotonically with crossbar size.
+    energies = [r.energy_nj for r in rows[:5]]
+    assert all(a > b for a, b in zip(energies, energies[1:]))

@@ -1,0 +1,25 @@
+"""Figure 4 — empty-crossbar proportion vs crossbars per tile.
+
+Regenerates the tile-wastage motivation: for the first four VGG16 layers
+on 64x64 crossbars, the share of allocated crossbar slots left empty
+under the conventional tile-based scheme, as the tile size grows from 4
+to 32 crossbars.
+
+Expected shape (paper §2.2.2): waste grows with tile size — roughly 24%
+on average at 4 crossbars/tile rising toward 60% at 32.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig4_empty_crossbars, print_fig4
+
+
+def test_fig4_empty_crossbars(benchmark):
+    data = run_once(benchmark, fig4_empty_crossbars)
+    print_fig4(data)
+    for series in data.values():
+        values = [series[ts] for ts in sorted(series)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+    avg4 = sum(series[4] for series in data.values()) / len(data)
+    avg32 = sum(series[32] for series in data.values()) / len(data)
+    assert avg32 > avg4

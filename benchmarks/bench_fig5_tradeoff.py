@@ -1,0 +1,22 @@
+"""Figure 5 — the utilization/energy trade-off example.
+
+Regenerates the pinned §2.2.3 example: 128 kernels of 3x3x12 mapped onto
+64x64 vs 128x128 crossbars (4-crossbar tiles).
+
+Expected numbers (exact, from the paper): utilization 27/32 vs 27/128;
+activated ADCs 256 vs 128.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench import fig5_tradeoff, print_fig5
+
+
+def test_fig5_tradeoff(benchmark):
+    rows = run_once(benchmark, fig5_tradeoff)
+    print_fig5(rows)
+    assert rows[0].utilization == pytest.approx(27 / 32)
+    assert rows[1].utilization == pytest.approx(27 / 128)
+    assert rows[0].activated_adcs == 256
+    assert rows[1].activated_adcs == 128

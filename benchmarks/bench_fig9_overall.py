@@ -1,0 +1,32 @@
+"""Figure 9 — overall performance: RUE, utilization, energy.
+
+Regenerates the main result: the five homogeneous square accelerators and
+AutoHet's RL-searched heterogeneous configuration, for AlexNet/MNIST,
+VGG16/CIFAR-10, and ResNet152/ImageNet.
+
+Expected shapes (paper §4.2): AutoHet has the highest RUE on every model
+(paper: 1.3x / 2.2x / 1.4x over the best homogeneous for AlexNet / VGG16 /
+ResNet152; 5.1x the homogeneous average); small squares win utilization
+and lose energy, 512x512 the reverse; normalized energy spans ~12.5x for
+VGG16.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig9_overall, print_fig9
+
+
+def test_fig9_overall(benchmark):
+    results = run_once(benchmark, fig9_overall)
+    print_fig9(results)
+    for res in results:
+        # AutoHet wins RUE on every model.
+        assert res.autohet.rue == max(r.rue for r in res.rows)
+        assert res.rue_speedup >= 1.0
+        # The homogeneous trade-off: the utilization champion is a small
+        # square; the energy champion is the biggest one.
+        homo = res.rows[:-1]
+        best_u = max(homo, key=lambda r: r.utilization_percent)
+        best_e = min(homo, key=lambda r: r.energy_nj)
+        assert best_u.label in ("32x32", "64x64")
+        assert best_e.label in ("256x256", "512x512")

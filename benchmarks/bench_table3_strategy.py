@@ -1,0 +1,24 @@
+"""Table 3 — the chosen crossbar size for each VGG16 layer.
+
+Regenerates the per-layer strategy table for Base (best homogeneous),
++He (RL over squares), and +Hy (RL over the hybrid set).
+
+Expected shapes (paper §4.3): Base is uniform 512x512; +He keeps large
+squares with some 256x256 layers; +Hy moves (nearly) all layers onto the
+large rectangles (576x512 / 288x256).
+"""
+
+from conftest import run_once
+
+from repro.bench import print_table3, table3_strategies
+
+
+def test_table3_strategies(benchmark):
+    data = run_once(benchmark, table3_strategies)
+    print_table3(data)
+    assert set(data["Base"]) == {"512x512"}
+    # +He stays within the square family.
+    assert all("x" in s and s.split("x")[0] == s.split("x")[1] for s in data["+He"])
+    # +Hy prefers the big rectangles for most VGG16 layers.
+    large_rect = sum(1 for s in data["+Hy"] if s in ("576x512", "288x256"))
+    assert large_rect >= 12

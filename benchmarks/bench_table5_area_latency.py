@@ -1,0 +1,27 @@
+"""Table 5 — area occupancy and inference latency (VGG16).
+
+Regenerates the area/latency comparison of the five homogeneous square
+accelerators and AutoHet.
+
+Expected shapes (paper §4.5): AutoHet has the smallest area (paper: -92%
+vs SXB512's 2.12e9 um^2, with SXB32 at 2.29e10); AutoHet's latency shows
+no significant increase over the homogeneous accelerators (paper: within
+3.2% of the fastest).
+"""
+
+from conftest import run_once
+
+from repro.bench import print_table5, table5_area_latency
+
+
+def test_table5_area_latency(benchmark):
+    rows = run_once(benchmark, table5_area_latency)
+    print_table5(rows)
+    areas = {r.label: r.metrics.area_um2 for r in rows}
+    latencies = {r.label: r.metrics.latency_ns for r in rows}
+    # AutoHet occupies the least area; area shrinks with crossbar size.
+    assert areas["AutoHet"] == min(areas.values())
+    homo_areas = [areas[f"SXB{n}"] for n in (32, 64, 128, 256, 512)]
+    assert all(a > b for a, b in zip(homo_areas, homo_areas[1:]))
+    # AutoHet latency within 25% of the fastest accelerator.
+    assert latencies["AutoHet"] < 1.25 * min(latencies.values())

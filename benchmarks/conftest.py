@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one figure/table from the paper's evaluation
+and prints the same rows/series the paper reports (see DESIGN.md for the
+experiment index and EXPERIMENTS.md for paper-vs-measured results).
+
+RL-search experiments honour the ``REPRO_RL_ROUNDS`` environment variable
+(default 120; the paper used 300 rounds — export REPRO_RL_ROUNDS=300 to
+match it exactly at ~3x the runtime).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an experiment with a single timed execution.
+
+    The experiments are deterministic end-to-end pipelines (many seconds
+    each); timing them once keeps the harness fast while still recording
+    wall-clock cost per figure.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""A guided tour of the behavioral cost model.
+
+Walks the energy / latency / area models the RL reward is built on and
+shows the relations the paper's argument depends on:
+
+1. per-component energy breakdown — ADCs dominate (the §2.2.3 premise);
+2. the crossbar-size lever — taller crossbars cut ADC conversions but
+   strand cells (utilization falls);
+3. where area goes — the per-bitline ADCs, which is why small-crossbar
+   accelerators are an order of magnitude larger (Table 5);
+4. what the tile-shared scheme changes — allocated cells and leakage.
+
+Run:  python examples/cost_model_tour.py
+"""
+
+from repro import CrossbarShape, SQUARE_CANDIDATES, Simulator, vgg16
+from repro.arch.mapping import map_layer
+from repro.sim.area import crossbar_slot_area_um2
+from repro.sim.energy import layer_dynamic_energy
+
+
+def main() -> None:
+    network = vgg16()
+    simulator = Simulator()
+    config = simulator.config
+
+    print("1) Energy breakdown of a VGG16 inference (512x512 homogeneous):")
+    metrics = simulator.evaluate_homogeneous(network, CrossbarShape(512, 512))
+    breakdown = metrics.energy_breakdown
+    for component in (
+        "adc", "dac", "crossbar", "shift_add", "adder_tree",
+        "buffer", "bus", "pooling", "leakage",
+    ):
+        value = getattr(breakdown, component)
+        share = value / breakdown.total
+        bar = "#" * int(round(share * 40))
+        print(f"   {component:>10}: {value:12.1f} nJ  {share:6.1%} {bar}")
+
+    print("\n2) The crossbar-size lever on one layer (VGG16 L8: C3-512 @4):")
+    layer = network.layers[7]
+    print(f"   {'shape':>9}  {'row grps':>8}  {'ADC/cycle':>9}  "
+          f"{'util':>6}  {'layer ADC energy':>17}")
+    for shape in SQUARE_CANDIDATES + (CrossbarShape(576, 512),):
+        mapping = map_layer(layer, shape)
+        energy = layer_dynamic_energy(mapping, config)
+        print(
+            f"   {shape!s:>9}  {mapping.row_groups:>8}  "
+            f"{mapping.used_columns_total:>9}  {mapping.utilization:>6.1%}  "
+            f"{energy.adc:>15.1f} nJ"
+        )
+
+    print("\n3) Where the area goes (one logical crossbar slot):")
+    for shape in (CrossbarShape(32, 32), CrossbarShape(512, 512)):
+        total = crossbar_slot_area_um2(shape, config)
+        adc = shape.cols * config.area_adc_um2() * config.xbars_per_group
+        cells = shape.cells * config.area_cell_um2 * config.xbars_per_group
+        print(
+            f"   {shape!s:>9}: {total:12.0f} um^2 total — "
+            f"ADCs {adc / total:5.1%}, cells {cells / total:5.1%}, "
+            f"{total / shape.cells:8.2f} um^2 per cell"
+        )
+
+    print("\n4) Tile sharing on the same strategy (576x512 everywhere):")
+    strategy = tuple(CrossbarShape(576, 512) for _ in network.layers)
+    for shared in (False, True):
+        m = simulator.evaluate(network, strategy, tile_shared=shared, detailed=False)
+        label = "tile-shared" if shared else "tile-based "
+        print(
+            f"   {label}: {m.occupied_tiles:>3} tiles, "
+            f"U={m.utilization_percent:5.1f}%, "
+            f"leakage {m.energy_breakdown.leakage:8.1f} nJ, "
+            f"RUE={m.rue:.3e}"
+        )
+
+
+if __name__ == "__main__":
+    main()

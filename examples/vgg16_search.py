@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""The paper's flagship experiment: VGG16 on CIFAR-10 shapes.
+
+Runs the full §4 pipeline for one model:
+
+1. the five homogeneous square baselines (Fig. 9);
+2. the hand-tuned Manual-Hetero split (Fig. 3);
+3. the AutoHet RL search over the hybrid candidate set;
+4. the ablation Base / +He / +Hy / All (Fig. 10);
+5. the per-layer strategy table (Table 3).
+
+Takes a couple of minutes at the paper's 300 search rounds; set
+``ROUNDS`` lower for a faster pass.
+
+Run:  python examples/vgg16_search.py [rounds]
+"""
+
+import sys
+
+from repro import (
+    DEFAULT_CANDIDATES,
+    SQUARE_CANDIDATES,
+    Simulator,
+    autohet_search,
+    best_homogeneous,
+    manual_hetero_strategy,
+    vgg16,
+)
+
+ROUNDS = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+
+
+def row(label, m):
+    print(
+        f"  {label:>14}: U={m.utilization_percent:5.1f}%  "
+        f"E={m.energy_nj:.3e} nJ  RUE={m.rue:.3e}  "
+        f"A={m.area_um2:.2e} um^2  T={m.latency_ns:.2e} ns"
+    )
+
+
+def main() -> None:
+    network = vgg16()
+    simulator = Simulator()
+
+    print(f"== Homogeneous baselines ({network.name}) ==")
+    for shape in SQUARE_CANDIDATES:
+        row(str(shape), simulator.evaluate_homogeneous(network, shape))
+
+    manual = simulator.evaluate(
+        network, manual_hetero_strategy(network), tile_shared=False,
+        detailed=False,
+    )
+    row("Manual-Hetero", manual)
+
+    print(f"\n== AutoHet search ({ROUNDS} rounds) ==")
+    result = autohet_search(
+        network, DEFAULT_CANDIDATES, rounds=ROUNDS, simulator=simulator,
+        seed=0, verbose=True,
+    )
+    row("AutoHet", result.best_metrics)
+    _, base = best_homogeneous(network, SQUARE_CANDIDATES, simulator)
+    print(f"  RUE speedup vs best homogeneous: "
+          f"{result.best_metrics.rue / base.rue:.2f}x")
+    print(f"  search time: {result.total_seconds:.1f}s "
+          f"({result.simulator_fraction:.0%} simulator feedback)")
+
+    print("\n== Ablation (Fig. 10) ==")
+    he = autohet_search(
+        network, SQUARE_CANDIDATES, rounds=ROUNDS, simulator=simulator,
+        tile_shared=False, seed=0,
+    )
+    hy = autohet_search(
+        network, DEFAULT_CANDIDATES, rounds=ROUNDS, simulator=simulator,
+        tile_shared=False, seed=0,
+    )
+    row("Base", base)
+    row("+He", he.best_metrics)
+    row("+Hy", hy.best_metrics)
+    row("All", result.best_metrics)
+
+    print("\n== Per-layer strategy (Table 3) ==")
+    for i, (sq, hyb) in enumerate(zip(he.best_strategy, hy.best_strategy)):
+        print(f"  L{i + 1:>2}: +He {sq!s:>8}   +Hy {hyb!s:>8}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+"""AutoHet — automated heterogeneous ReRAM-based accelerator for DNN
+inference.
+
+Reproduction of Wu et al., ICPP 2024 (DOI 10.1145/3673038.3673143).
+
+Public API tour
+---------------
+Workloads (paper Table 2)::
+
+    from repro import vgg16, alexnet, resnet152
+    net = vgg16()                       # VGG16 on CIFAR-10 shapes
+
+Behavioral simulator (the MNSIM role)::
+
+    from repro import Simulator, CrossbarShape
+    sim = Simulator()
+    metrics = sim.evaluate_homogeneous(net, CrossbarShape(512, 512))
+    print(metrics.rue, metrics.utilization_percent, metrics.energy_nj)
+
+The AutoHet RL search (§3.2)::
+
+    from repro import autohet_search
+    result = autohet_search(net, rounds=300, seed=0)
+    print(result.summary())
+
+Functional bit-exact inference through the mapped crossbars::
+
+    from repro import FunctionalNetworkEngine
+    engine = FunctionalNetworkEngine(net, result.best_strategy)
+    logits = engine.forward(net.dataset.synthetic_batch(1)[0])
+"""
+
+from .arch.config import (
+    DEFAULT_CANDIDATES,
+    DEFAULT_CONFIG,
+    RECTANGLE_CANDIDATES,
+    SQUARE_CANDIDATES,
+    CrossbarShape,
+    HardwareConfig,
+)
+from .arch.mapping import LayerMapping, eq4_utilization, map_layer
+from .core import AutoHet, SearchResult, autohet_search
+from .core.allocation import Allocation, Tile, allocate_tile_based, apply_tile_sharing
+from .core.search import (
+    best_homogeneous,
+    exhaustive_search,
+    greedy_reward_strategy,
+    greedy_utilization_strategy,
+    homogeneous_strategy,
+    hybrid_candidates,
+    manual_hetero_strategy,
+    random_search,
+)
+from .models import (
+    CIFAR10,
+    IMAGENET,
+    MNIST,
+    DatasetSpec,
+    LayerSpec,
+    LayerType,
+    Network,
+    PoolSpec,
+    alexnet,
+    get_dataset,
+    get_model,
+    lenet,
+    paper_workloads,
+    resnet152,
+    tiny_cnn,
+    vgg16,
+)
+from .sim import SystemMetrics, Simulator
+from .sim.accuracy import evaluate_agreement, fault_sweep
+from .sim.functional import FunctionalLayerEngine, FunctionalNetworkEngine
+from .sim.pipeline import pipeline_report
+from .sim.replication import balance_replication
+from .sim.variation import VariationModel, inject_faults
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CANDIDATES",
+    "DEFAULT_CONFIG",
+    "RECTANGLE_CANDIDATES",
+    "SQUARE_CANDIDATES",
+    "CrossbarShape",
+    "HardwareConfig",
+    "LayerMapping",
+    "eq4_utilization",
+    "map_layer",
+    "AutoHet",
+    "SearchResult",
+    "autohet_search",
+    "Allocation",
+    "Tile",
+    "allocate_tile_based",
+    "apply_tile_sharing",
+    "best_homogeneous",
+    "exhaustive_search",
+    "greedy_reward_strategy",
+    "greedy_utilization_strategy",
+    "homogeneous_strategy",
+    "hybrid_candidates",
+    "manual_hetero_strategy",
+    "random_search",
+    "CIFAR10",
+    "IMAGENET",
+    "MNIST",
+    "DatasetSpec",
+    "LayerSpec",
+    "LayerType",
+    "Network",
+    "PoolSpec",
+    "alexnet",
+    "get_dataset",
+    "get_model",
+    "lenet",
+    "paper_workloads",
+    "resnet152",
+    "tiny_cnn",
+    "vgg16",
+    "SystemMetrics",
+    "Simulator",
+    "FunctionalLayerEngine",
+    "FunctionalNetworkEngine",
+    "VariationModel",
+    "balance_replication",
+    "evaluate_agreement",
+    "fault_sweep",
+    "inject_faults",
+    "pipeline_report",
+]

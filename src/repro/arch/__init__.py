@@ -1,0 +1,44 @@
+"""Hardware substrate: crossbars, peripherals, PEs, tiles, accelerator."""
+
+from .accelerator import BlockLocation, HeterogeneousAccelerator
+from .config import (
+    DEFAULT_CANDIDATES,
+    DEFAULT_CONFIG,
+    RECTANGLE_CANDIDATES,
+    SQUARE_CANDIDATES,
+    CrossbarShape,
+    HardwareConfig,
+)
+from .controller import GlobalController, Instruction, Opcode
+from .crossbar import Crossbar
+from .mapping import LayerMapping, eq4_utilization, map_layer, occupancy_grid
+from .pe import ProcessingElement
+from .peripherals import ADCArray, AdderTree, DACArray, PoolingModule, ShiftAdder
+from .tile import BlockAssignment, HardwareTile
+
+__all__ = [
+    "BlockLocation",
+    "HeterogeneousAccelerator",
+    "DEFAULT_CANDIDATES",
+    "DEFAULT_CONFIG",
+    "RECTANGLE_CANDIDATES",
+    "SQUARE_CANDIDATES",
+    "CrossbarShape",
+    "HardwareConfig",
+    "GlobalController",
+    "Instruction",
+    "Opcode",
+    "Crossbar",
+    "LayerMapping",
+    "eq4_utilization",
+    "map_layer",
+    "occupancy_grid",
+    "ProcessingElement",
+    "ADCArray",
+    "AdderTree",
+    "DACArray",
+    "PoolingModule",
+    "ShiftAdder",
+    "BlockAssignment",
+    "HardwareTile",
+]

@@ -1,0 +1,108 @@
+"""The physical crossbar array: binary memristor cells, analog MVM.
+
+A crossbar stores one *bit-slice* of the weights: each cell is a 1-bit
+conductance (the §4.1 configuration).  Driving binary wordline voltages
+produces per-bitline currents equal to the count of conducting cells on
+active rows — an exact integer dot product in the unit-current model,
+which is what makes the whole engine bit-exact and property-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .config import CrossbarShape
+
+
+@dataclass
+class Crossbar:
+    """One physical ReRAM array of shape ``rows x cols``."""
+
+    shape: CrossbarShape
+    _cells: np.ndarray = field(init=False, repr=False)
+    _used: np.ndarray = field(init=False, repr=False)
+    evaluations: int = 0
+
+    def __post_init__(self) -> None:
+        self._cells = np.zeros((self.shape.rows, self.shape.cols), dtype=np.int8)
+        self._used = np.zeros((self.shape.rows, self.shape.cols), dtype=bool)
+
+    # ------------------------------------------------------------------
+    @property
+    def cells(self) -> np.ndarray:
+        """Read-only view of the conductance matrix."""
+        view = self._cells.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def used_mask(self) -> np.ndarray:
+        """Boolean mask of cells programmed with weight data."""
+        view = self._used.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def used_cells(self) -> int:
+        return int(self._used.sum())
+
+    @property
+    def used_rows(self) -> int:
+        return int(self._used.any(axis=1).sum())
+
+    @property
+    def used_cols(self) -> int:
+        return int(self._used.any(axis=0).sum())
+
+    @property
+    def utilization(self) -> float:
+        return self.used_cells / self.shape.cells
+
+    # ------------------------------------------------------------------
+    def program(self, row0: int, col: int, bits: np.ndarray) -> None:
+        """Write a binary column segment starting at ``(row0, col)``."""
+        bits = np.asarray(bits, dtype=np.int8)
+        if bits.ndim != 1:
+            raise ValueError("program() takes a 1-D bit vector")
+        if not np.isin(bits, (0, 1)).all():
+            raise ValueError("cells store single bits; values must be 0/1")
+        r1 = row0 + bits.size
+        if row0 < 0 or r1 > self.shape.rows or not (0 <= col < self.shape.cols):
+            raise IndexError(
+                f"segment rows [{row0}, {r1}) col {col} outside {self.shape}"
+            )
+        if self._used[row0:r1, col].any():
+            raise ValueError(
+                f"cells [{row0}, {r1}) x {col} already programmed"
+            )
+        self._cells[row0:r1, col] = bits
+        self._used[row0:r1, col] = True
+
+    def program_block(self, row0: int, col0: int, bits: np.ndarray) -> None:
+        """Write a binary 2-D block with its top-left corner at (row0, col0)."""
+        bits = np.asarray(bits, dtype=np.int8)
+        for j in range(bits.shape[1]):
+            self.program(row0, col0 + j, bits[:, j])
+
+    def mvm(self, voltages: np.ndarray) -> np.ndarray:
+        """Analog evaluation: bitline currents for one wordline drive.
+
+        ``voltages`` has length <= rows (zero-padded); the return value is
+        the exact integer vector ``voltages @ cells``.
+        """
+        v = np.asarray(voltages, dtype=np.int64)
+        if v.ndim != 1 or v.size > self.shape.rows:
+            raise ValueError(
+                f"voltage vector of {v.size} does not fit {self.shape.rows} rows"
+            )
+        if v.size < self.shape.rows:
+            v = np.pad(v, (0, self.shape.rows - v.size))
+        self.evaluations += 1
+        return v @ self._cells.astype(np.int64)
+
+    def erase(self) -> None:
+        """Reset all cells (weight reload between layers/models)."""
+        self._cells[:] = 0
+        self._used[:] = False

@@ -1,0 +1,241 @@
+"""Kernel-to-crossbar mapping math (paper §3.3, Fig. 7, Eq. 4).
+
+A CONV layer with kernel ``k x k``, ``Cin`` input channels and ``Cout``
+output channels unfolds into a weight matrix of ``Cin * k^2`` rows by
+``Cout`` columns — one column per kernel.  Mapped onto an array of
+``r x c`` crossbars under the paper's parallelism rule ("map the data from
+one single kernel onto a single crossbar"):
+
+* each crossbar stores ``floor(r / k^2)`` input-channel *slices* of
+  ``k^2`` rows apiece, and up to ``c`` kernels in its columns;
+* the array therefore needs ``ceil(Cin / floor(r / k^2))`` crossbar rows
+  and ``ceil(Cout / c)`` crossbar columns;
+* utilization follows Eq. 4:
+
+  .. math::
+     u = \\frac{C_{in} k^2 C_{out}}
+              {r \\lceil C_{in} / \\lfloor r/k^2 \\rfloor \\rceil
+               \\cdot c \\lceil C_{out} / c \\rceil}
+
+FC layers use the same formula with ``k = 1`` (§3.3).
+
+**Kernel-splitting fallback.**  Eq. 4 is undefined when a single kernel
+slice is taller than the crossbar (``k^2 > r``; e.g. ResNet's 7x7 stem on a
+32x32 crossbar gives ``floor(32/49) = 0``).  The paper never maps such a
+pair, but a robust simulator must: we fall back to splitting one kernel
+column across consecutive crossbar rows with dense packing, i.e.
+``rows_groups = ceil(Cin * k^2 / r)``.  This strictly generalises Eq. 4's
+packing (it wastes no intra-group rows) and is flagged by
+``LayerMapping.kernel_split``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..models.layers import LayerSpec
+from .config import CrossbarShape
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """The result of mapping one layer onto one crossbar type.
+
+    All counts are *logical* (one logical crossbar = the bit-slice group of
+    ``weight_bits / cell_bits`` physical arrays; see
+    :attr:`HardwareConfig.xbars_per_group`).  The simulator multiplies by
+    the physical factors.
+    """
+
+    layer: LayerSpec
+    shape: CrossbarShape
+    row_groups: int        #: crossbar rows in the array (Fig. 7 vertical tiling)
+    col_groups: int        #: crossbar columns in the array
+    kernel_split: bool     #: True when the k^2 > r fallback engaged
+
+    # ------------------------------------------------------------------
+    @property
+    def num_crossbars(self) -> int:
+        """Logical crossbars the layer occupies."""
+        return self.row_groups * self.col_groups
+
+    @property
+    def weight_cells(self) -> int:
+        """Cells that actually hold weights (= the layer's weight count)."""
+        return self.layer.weight_count
+
+    @property
+    def total_cells(self) -> int:
+        """All cells in the occupied crossbars, used or not."""
+        return self.num_crossbars * self.shape.cells
+
+    @property
+    def utilization(self) -> float:
+        """Intra-array utilization — Eq. 4 (or its fallback generalisation)."""
+        return self.weight_cells / self.total_cells
+
+    # ------------------------------------------------------------------
+    # Per-MVM activity counts (one input vector through the layer).
+    # These are per *logical* crossbar group and per analog cycle; the
+    # simulator scales by input-bit cycles and weight-bit slices.
+    # ------------------------------------------------------------------
+    @property
+    def used_columns_total(self) -> int:
+        """Bitlines holding at least one weight, across the whole array.
+
+        Every row group repeats the same ``Cout`` kernel columns, so this is
+        ``row_groups * Cout``.  It is the number of ADC conversions needed
+        per analog cycle when only active bitlines are read out — e.g. the
+        Fig. 5 example: 256 for XB64, 128 for XB128.
+        """
+        return self.row_groups * self.layer.out_channels
+
+    @property
+    def allocated_columns_total(self) -> int:
+        """All bitlines in occupied crossbars (incl. empty ones).
+
+        The paper adjusts "the number of relevant modules (e.g., DACs,
+        ADCs) in each tile" (§4.1) — peripheral circuits exist per
+        crossbar, not per used column — so by default the energy model
+        charges every bitline of an occupied crossbar
+        (:attr:`HardwareConfig.charge_idle_columns`).  Fig. 5's counts
+        (256 vs 128) are reproduced by either convention because that
+        layer fills all its columns.
+        """
+        return self.num_crossbars * self.shape.cols
+
+    @property
+    def allocated_rows_total(self) -> int:
+        """All wordlines in occupied crossbars (incl. unused ones)."""
+        return self.num_crossbars * self.shape.rows
+
+    @property
+    def used_rows_total(self) -> int:
+        """Wordlines holding at least one weight, across the whole array.
+
+        Each column group repeats the full set of input rows, so this is
+        ``col_groups * Cin * k^2`` (the input vector is re-driven once per
+        crossbar column) — the DAC activation count per analog cycle.
+        """
+        return self.col_groups * self.layer.in_channels * self.layer.kernel_elems
+
+    @property
+    def active_cells_per_cycle(self) -> int:
+        """Cells conducting during one analog evaluation (= weight cells)."""
+        return self.weight_cells
+
+    @property
+    def partial_sum_adds(self) -> int:
+        """Adder-tree additions merging row-group partial sums per MVM."""
+        return (self.row_groups - 1) * self.layer.out_channels
+
+    @property
+    def adder_tree_depth(self) -> int:
+        """Adder-tree levels needed to merge the row groups (latency)."""
+        return math.ceil(math.log2(self.row_groups)) if self.row_groups > 1 else 0
+
+    @property
+    def used_columns_per_crossbar_max(self) -> int:
+        """Active bitlines in the busiest crossbar (ADC mux chain length)."""
+        return min(self.layer.out_channels, self.shape.cols)
+
+    def describe(self) -> str:
+        split = " [kernel-split]" if self.kernel_split else ""
+        return (
+            f"L{self.layer.index + 1} {self.layer.describe()} -> {self.shape}: "
+            f"{self.row_groups}x{self.col_groups} crossbars, "
+            f"u={self.utilization:.1%}{split}"
+        )
+
+
+@lru_cache(maxsize=65536)
+def _map_shapes(
+    in_channels: int, out_channels: int, kernel_elems: int, rows: int, cols: int
+) -> tuple[int, int, bool]:
+    """Row/column group counts for a (layer-shape, crossbar-shape) pair."""
+    slices_per_xbar = rows // kernel_elems
+    if slices_per_xbar >= 1:
+        row_groups = math.ceil(in_channels / slices_per_xbar)
+        kernel_split = False
+    else:
+        row_groups = math.ceil(in_channels * kernel_elems / rows)
+        kernel_split = True
+    col_groups = math.ceil(out_channels / cols)
+    return row_groups, col_groups, kernel_split
+
+
+def map_layer(layer: LayerSpec, shape: CrossbarShape) -> LayerMapping:
+    """Map one layer onto one crossbar type (Fig. 7)."""
+    row_groups, col_groups, kernel_split = _map_shapes(
+        layer.in_channels,
+        layer.out_channels,
+        layer.kernel_elems,
+        shape.rows,
+        shape.cols,
+    )
+    return LayerMapping(
+        layer=layer,
+        shape=shape,
+        row_groups=row_groups,
+        col_groups=col_groups,
+        kernel_split=kernel_split,
+    )
+
+
+def eq4_utilization(
+    in_channels: int, out_channels: int, kernel_size: int, rows: int, cols: int
+) -> float:
+    """Eq. 4 verbatim, for direct comparison against the paper's examples.
+
+    Raises :class:`ZeroDivisionError` (as the raw formula would) when
+    ``kernel_size^2 > rows``; use :func:`map_layer` for the robust version.
+    """
+    k2 = kernel_size * kernel_size
+    numer = in_channels * k2 * out_channels
+    denom = (
+        rows
+        * math.ceil(in_channels / (rows // k2))
+        * cols
+        * math.ceil(out_channels / cols)
+    )
+    return numer / denom
+
+
+def occupancy_grid(layer: LayerSpec, shape: CrossbarShape):
+    """Materialise the boolean cell-occupancy grids of every crossbar.
+
+    Returns a ``row_groups x col_groups`` nested list of 2-D NumPy boolean
+    arrays marking which cells hold weights.  This is the brute-force
+    ground truth the property tests compare Eq. 4 against, and what the
+    functional engine uses to place weight slices.
+    """
+    import numpy as np
+
+    mapping = map_layer(layer, shape)
+    r, c = shape.rows, shape.cols
+    cin, cout, k2 = layer.in_channels, layer.out_channels, layer.kernel_elems
+    grids = [
+        [np.zeros((r, c), dtype=bool) for _ in range(mapping.col_groups)]
+        for _ in range(mapping.row_groups)
+    ]
+    if not mapping.kernel_split:
+        slices_per_xbar = r // k2
+        for ch in range(cin):
+            rg, slot = divmod(ch, slices_per_xbar)
+            r0 = slot * k2
+            for kern in range(cout):
+                cg, col = divmod(kern, c)
+                grids[rg][cg][r0 : r0 + k2, col] = True
+    else:
+        # Dense vertical packing: global row index ch*k2 + i maps to
+        # (row_group, local_row) by simple division.
+        total_rows = cin * k2
+        for kern in range(cout):
+            cg, col = divmod(kern, c)
+            for g0 in range(0, total_rows, r):
+                rg = g0 // r
+                height = min(r, total_rows - g0)
+                grids[rg][cg][0:height, col] = True
+    return grids

@@ -1,0 +1,91 @@
+"""Processing element: one logical crossbar slot.
+
+A PE gangs ``weight_bits / cell_bits`` physical crossbars (the bit-slice
+group of §4.1), a DAC bank on the shared wordlines, an ADC bank per
+physical array, and a shift-and-add unit.  It executes exact integer MVMs
+for whatever weight block has been programmed into it.
+
+This object model complements the vectorised
+:class:`~repro.sim.functional.FunctionalLayerEngine`: the engine is the
+fast path for whole-network inference; the PE/tile/bank objects model the
+physical organisation the Global Controller drives, at per-crossbar
+granularity, for small workloads and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .config import CrossbarShape, DEFAULT_CONFIG, HardwareConfig
+from .crossbar import Crossbar
+from .peripherals import ADCArray, DACArray, ShiftAdder
+
+
+@dataclass
+class ProcessingElement:
+    """One logical crossbar: bit-slice group + peripherals."""
+
+    shape: CrossbarShape
+    config: HardwareConfig = DEFAULT_CONFIG
+    pe_id: int = 0
+    crossbars: list[Crossbar] = field(init=False)
+    dacs: DACArray = field(init=False)
+    adcs: ADCArray = field(init=False)
+    shift_adder: ShiftAdder = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.crossbars = [
+            Crossbar(self.shape) for _ in range(self.config.xbars_per_group)
+        ]
+        self.dacs = DACArray(lanes=self.shape.rows, bits=self.config.dac_bits)
+        self.adcs = ADCArray(lanes=self.shape.cols, bits=self.config.adc_bits)
+        self.shift_adder = ShiftAdder()
+
+    # ------------------------------------------------------------------
+    @property
+    def programmed(self) -> bool:
+        return any(xb.used_cells for xb in self.crossbars)
+
+    @property
+    def used_cells(self) -> int:
+        """Logical weight cells programmed (same mask on every slice)."""
+        return self.crossbars[0].used_cells
+
+    def program_block(self, row0: int, col0: int, encoded_block: np.ndarray) -> None:
+        """Program an offset-encoded unsigned weight block.
+
+        ``encoded_block`` holds values in ``[0, 2^weight_bits - 1]``; bit
+        ``b`` of each value lands in physical crossbar ``b``.
+        """
+        block = np.asarray(encoded_block, dtype=np.int64)
+        hi = 2**self.config.weight_bits - 1
+        if block.min(initial=0) < 0 or block.max(initial=0) > hi:
+            raise ValueError("encoded weights out of cell range")
+        for b, xb in enumerate(self.crossbars):
+            xb.program_block(row0, col0, ((block >> b) & 1).astype(np.int8))
+
+    def mvm(self, x_q: np.ndarray) -> np.ndarray:
+        """Bit-serial exact MVM of an unsigned input vector.
+
+        Returns the integer product against the *encoded* weights; the
+        caller (tile) removes the offset term.
+        """
+        cfg = self.config
+        x = np.asarray(x_q, dtype=np.int64)
+        if x.size > self.shape.rows:
+            raise ValueError(f"input of {x.size} exceeds {self.shape.rows} rows")
+        if x.min(initial=0) < 0 or x.max(initial=0) > 2**cfg.input_bits - 1:
+            raise ValueError("inputs exceed the unsigned input range")
+        if x.size < self.shape.rows:
+            x = np.pad(x, (0, self.shape.rows - x.size))
+        self.shift_adder.reset(self.shape.cols)
+        for ib in range(cfg.input_cycles):
+            plane = (x >> ib) & 1
+            voltages = self.dacs.drive(plane)
+            for wb, xb in enumerate(self.crossbars):
+                currents = xb.mvm(voltages.astype(np.int64))
+                codes = self.adcs.sample(currents)
+                self.shift_adder.accumulate(codes, ib + wb)
+        return self.shift_adder.value

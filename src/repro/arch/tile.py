@@ -1,0 +1,110 @@
+"""Hardware tile: a set of PEs sharing buffers, an adder tree, and a
+pooling module (Fig. 1 / Fig. 6 right).
+
+The tile is the unit the Global Controller addresses and the minimum
+allocation granularity of the baseline scheme; under the tile-shared
+scheme (§3.4) one tile may hold crossbar blocks from several layers.
+Every PE in a tile has the same crossbar geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .config import CrossbarShape, DEFAULT_CONFIG, HardwareConfig
+from .pe import ProcessingElement
+from .peripherals import AdderTree, PoolingModule
+
+
+@dataclass(frozen=True)
+class BlockAssignment:
+    """One weight block's placement: which PE serves which array position.
+
+    ``row_group`` / ``col_group`` locate the block within its layer's
+    crossbar array (Fig. 7); the rows/cols ranges describe the used
+    sub-rectangle of the PE's crossbars.
+    """
+
+    layer_index: int
+    row_group: int
+    col_group: int
+    rows_used: int
+    cols_used: int
+
+
+@dataclass
+class HardwareTile:
+    """A tile instance with per-PE block bookkeeping."""
+
+    tile_id: int
+    shape: CrossbarShape
+    config: HardwareConfig = DEFAULT_CONFIG
+    pes: list[ProcessingElement] = field(init=False)
+    assignments: dict[int, BlockAssignment] = field(default_factory=dict)
+    adder_tree: AdderTree = field(init=False)
+    pooling: PoolingModule = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.pes = [
+            ProcessingElement(self.shape, self.config, pe_id=i)
+            for i in range(self.config.pes_per_tile)
+        ]
+        self.adder_tree = AdderTree()
+        self.pooling = PoolingModule()
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return len(self.pes)
+
+    @property
+    def occupied(self) -> int:
+        return sum(1 for pe in self.pes if self.assignments.get(pe.pe_id))
+
+    @property
+    def free_slots(self) -> list[int]:
+        return [pe.pe_id for pe in self.pes if pe.pe_id not in self.assignments]
+
+    @property
+    def layers(self) -> tuple[int, ...]:
+        return tuple(sorted({a.layer_index for a in self.assignments.values()}))
+
+    def assign_block(
+        self,
+        pe_id: int,
+        assignment: BlockAssignment,
+        encoded_block: np.ndarray,
+    ) -> None:
+        """Program one weight block into a free PE slot."""
+        if pe_id in self.assignments:
+            raise ValueError(f"PE {pe_id} of tile {self.tile_id} already assigned")
+        if not 0 <= pe_id < self.capacity:
+            raise IndexError(f"PE {pe_id} out of range")
+        block = np.asarray(encoded_block)
+        if block.shape != (assignment.rows_used, assignment.cols_used):
+            raise ValueError(
+                f"block shape {block.shape} != assignment "
+                f"{(assignment.rows_used, assignment.cols_used)}"
+            )
+        self.pes[pe_id].program_block(0, 0, block)
+        self.assignments[pe_id] = assignment
+
+    def release(self, pe_id: int) -> None:
+        """Erase one PE (tile-shared remapping moves blocks around)."""
+        if pe_id in self.assignments:
+            for xb in self.pes[pe_id].crossbars:
+                xb.erase()
+            del self.assignments[pe_id]
+
+    def mvm_block(self, pe_id: int, x_q: np.ndarray) -> np.ndarray:
+        """Run one block's MVM; returns encoded-domain partial sums."""
+        if pe_id not in self.assignments:
+            raise ValueError(f"PE {pe_id} of tile {self.tile_id} is empty")
+        a = self.assignments[pe_id]
+        x = np.asarray(x_q, dtype=np.int64)
+        if x.size != a.rows_used:
+            raise ValueError(f"input of {x.size} != block rows {a.rows_used}")
+        out = self.pes[pe_id].mvm(x)
+        return out[: a.cols_used]

@@ -1,0 +1,138 @@
+"""Export experiment results to JSON / CSV for plotting.
+
+The printers in :mod:`repro.bench.reporting` target terminals; this module
+targets downstream tooling — matplotlib scripts, spreadsheets, CI
+artifact diffs.  Every experiment's structured output converts to a flat
+list of records (one dict per table row / figure point) which serialises
+to JSON or CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from .experiments import (
+    AblationResult,
+    AcceleratorRow,
+    Fig5Row,
+    OverallResult,
+    SensitivityPoint,
+)
+
+Records = list[dict[str, Any]]
+
+
+def rows_to_records(rows: Sequence[AcceleratorRow], **extra) -> Records:
+    """Flatten accelerator comparison rows (fig3 / fig10 / table5)."""
+    out = []
+    for row in rows:
+        m = row.metrics
+        out.append(
+            {
+                "accelerator": row.label,
+                "utilization_percent": m.utilization_percent,
+                "energy_nj": m.energy_nj,
+                "rue": m.rue,
+                "area_um2": m.area_um2,
+                "latency_ns": m.latency_ns,
+                "occupied_tiles": m.occupied_tiles,
+                **extra,
+            }
+        )
+    return out
+
+
+def overall_to_records(results: Sequence[OverallResult]) -> Records:
+    """Flatten the Fig. 9 structure: one record per (model, accelerator)."""
+    out: Records = []
+    for res in results:
+        out.extend(rows_to_records(res.rows, model=res.model))
+    return out
+
+
+def ablation_to_records(results: Sequence[AblationResult]) -> Records:
+    """Flatten the Fig. 10 structure: one record per (model, variant)."""
+    out: Records = []
+    for res in results:
+        out.extend(rows_to_records(res.rows, model=res.model))
+    return out
+
+
+def fig4_to_records(data: dict[str, dict[int, float]]) -> Records:
+    return [
+        {"layer": layer, "xbs_per_tile": ts, "empty_fraction": frac}
+        for layer, series in data.items()
+        for ts, frac in sorted(series.items())
+    ]
+
+
+def fig5_to_records(rows: Sequence[Fig5Row]) -> Records:
+    return [
+        {
+            "crossbar": r.shape,
+            "utilization": r.utilization,
+            "activated_adcs": r.activated_adcs,
+        }
+        for r in rows
+    ]
+
+
+def sensitivity_to_records(
+    points: Sequence[SensitivityPoint], *, x_label: str
+) -> Records:
+    return [
+        {
+            x_label: p.label,
+            "best_homo_rue": p.best_homo_rue,
+            "autohet_rue": p.autohet_rue,
+            "speedup": p.speedup,
+        }
+        for p in points
+    ]
+
+
+def table3_to_records(data: dict[str, tuple[str, ...]]) -> Records:
+    n = len(next(iter(data.values())))
+    return [
+        {"layer": f"L{i + 1}", **{variant: data[variant][i] for variant in data}}
+        for i in range(n)
+    ]
+
+
+def table4_to_records(data: dict[str, dict[str, int]]) -> Records:
+    return [
+        {"model": model, "variant": variant, "occupied_tiles": tiles}
+        for model, row in data.items()
+        for variant, tiles in row.items()
+    ]
+
+
+# ----------------------------------------------------------------------
+# Writers
+# ----------------------------------------------------------------------
+def to_json(records: Records, path: str | Path | None = None) -> str:
+    """Serialise records to JSON; optionally write to ``path``."""
+    text = json.dumps(records, indent=2, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def to_csv(records: Records, path: str | Path | None = None) -> str:
+    """Serialise records to CSV (union of keys, sorted header)."""
+    if not records:
+        return ""
+    fields = sorted({k for r in records for k in r})
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fields)
+    writer.writeheader()
+    for record in records:
+        writer.writerow(record)
+    text = buf.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,72 @@
+"""ASCII reporting helpers shared by the benchmark harness.
+
+Every benchmark regenerates one paper table or figure and prints the same
+rows/series the paper reports.  Figures become series tables: one row per
+x-axis point, one column per series.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_value(value) -> str:
+    """Human-friendly scalar formatting (scientific for extremes)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: str | None = None,
+) -> None:
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def normalize_series(values: Sequence[float], *, to_min: bool = True) -> list[float]:
+    """Normalise a series so the min (or max) maps to 1.0 — the paper's
+    "normalized energy" presentation (Fig. 9c)."""
+    ref = min(values) if to_min else max(values)
+    if ref == 0:
+        return [0.0 for _ in values]
+    return [v / ref for v in values]

@@ -1,0 +1,255 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``search``     run the AutoHet RL search for a workload and print the
+               learned strategy and metrics.
+``baselines``  score the homogeneous baselines (and Manual-Hetero for
+               VGG16) on the behavioral simulator.
+``experiment`` regenerate one paper figure/table by name.
+``models``     list the available workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .arch.config import DEFAULT_CANDIDATES, SQUARE_CANDIDATES, CrossbarShape
+from .bench import (
+    fig3_motivation,
+    fig4_empty_crossbars,
+    fig5_tradeoff,
+    fig9_overall,
+    fig10_ablation,
+    fig11a_sxb_rxb_ratio,
+    fig11b_candidate_count,
+    fig11c_pes_per_tile,
+    print_fig3,
+    print_fig4,
+    print_fig5,
+    print_fig9,
+    print_fig10,
+    print_fig11,
+    print_search_time,
+    print_table3,
+    print_table4,
+    print_table5,
+    search_time_profile,
+    table3_strategies,
+    table4_tiles,
+    table5_area_latency,
+)
+from .core.autohet import autohet_search
+from .core.search import manual_hetero_strategy
+from .models.zoo import _MODEL_BUILDERS, get_model
+from .sim.simulator import Simulator
+
+EXPERIMENTS = {
+    "fig3": lambda a: print_fig3(fig3_motivation()),
+    "fig4": lambda a: print_fig4(fig4_empty_crossbars()),
+    "fig5": lambda a: print_fig5(fig5_tradeoff()),
+    "fig9": lambda a: print_fig9(fig9_overall(rounds=a.rounds, seed=a.seed)),
+    "fig10": lambda a: print_fig10(fig10_ablation(rounds=a.rounds, seed=a.seed)),
+    "fig11a": lambda a: print_fig11(
+        fig11a_sxb_rxb_ratio(rounds=a.rounds, seed=a.seed),
+        panel="a", x_label="SXB:RXB ratio",
+    ),
+    "fig11b": lambda a: print_fig11(
+        fig11b_candidate_count(rounds=a.rounds, seed=a.seed),
+        panel="b", x_label="candidate count",
+    ),
+    "fig11c": lambda a: print_fig11(
+        fig11c_pes_per_tile(rounds=a.rounds, seed=a.seed),
+        panel="c", x_label="PEs per tile",
+    ),
+    "table3": lambda a: print_table3(
+        table3_strategies(rounds=a.rounds, seed=a.seed)
+    ),
+    "table4": lambda a: print_table4(table4_tiles(rounds=a.rounds, seed=a.seed)),
+    "table5": lambda a: print_table5(
+        table5_area_latency(rounds=a.rounds, seed=a.seed)
+    ),
+    "search-time": lambda a: print_search_time(
+        search_time_profile(rounds=a.rounds, seed=a.seed)
+    ),
+    "all": lambda a: _run_all(a),
+}
+
+
+def _run_all(args) -> None:
+    from .bench.suite import run_full_suite, summarize_suite
+
+    doc = run_full_suite(rounds=args.rounds, seed=args.seed, verbose=True)
+    print(summarize_suite(doc))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AutoHet (ICPP 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_search = sub.add_parser("search", help="run the AutoHet RL search")
+    p_search.add_argument("model", help="workload name (see `models`)")
+    p_search.add_argument("--rounds", type=int, default=300)
+    p_search.add_argument("--seed", type=int, default=0)
+    p_search.add_argument(
+        "--no-tile-shared", action="store_true",
+        help="disable the tile-shared allocation scheme",
+    )
+    p_search.add_argument(
+        "--candidates", default=None,
+        help="comma-separated crossbar shapes, e.g. '32x32,72x64,576x512'",
+    )
+    p_search.add_argument("--verbose", action="store_true")
+
+    p_base = sub.add_parser("baselines", help="score homogeneous baselines")
+    p_base.add_argument("model")
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    p_exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    p_exp.add_argument("--rounds", type=int, default=None)
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument(
+        "--export", default=None, metavar="PATH",
+        help="also write the experiment's records to PATH "
+             "(.json or .csv, by extension; flat-record experiments only)",
+    )
+
+    sub.add_parser("models", help="list available workloads")
+    return parser
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    network = get_model(args.model)
+    candidates = (
+        tuple(CrossbarShape.parse(t) for t in args.candidates.split(","))
+        if args.candidates
+        else DEFAULT_CANDIDATES
+    )
+    result = autohet_search(
+        network,
+        candidates,
+        rounds=args.rounds,
+        tile_shared=not args.no_tile_shared,
+        seed=args.seed,
+        verbose=args.verbose,
+    )
+    print(result.summary())
+    m = result.best_metrics
+    print(
+        f"  energy={m.energy_nj:.3e} nJ  area={m.area_um2:.3e} um^2  "
+        f"latency={m.latency_ns:.3e} ns  tiles={m.occupied_tiles}"
+    )
+    print(
+        f"  search: {result.total_seconds:.1f}s "
+        f"({result.simulator_fraction:.0%} simulator feedback)"
+    )
+    return 0
+
+
+def cmd_baselines(args: argparse.Namespace) -> int:
+    network = get_model(args.model)
+    sim = Simulator()
+    for shape in SQUARE_CANDIDATES:
+        print(f"{shape!s:>14}: {sim.evaluate_homogeneous(network, shape).summary()}")
+    if network.name == "VGG16":
+        manual = sim.evaluate(
+            network, manual_hetero_strategy(network), tile_shared=False,
+            detailed=False,
+        )
+        print(f" Manual-Hetero: {manual.summary()}")
+    return 0
+
+
+def cmd_models(_: argparse.Namespace) -> int:
+    for name in sorted(_MODEL_BUILDERS):
+        net = get_model(name)
+        print(
+            f"{name:>12}: {net.name} on {net.dataset.name} "
+            f"({net.num_layers} layers, {net.total_weights / 1e6:.2f}M weights)"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "search":
+        return cmd_search(args)
+    if args.command == "baselines":
+        return cmd_baselines(args)
+    if args.command == "models":
+        return cmd_models(args)
+    if args.command == "experiment":
+        if getattr(args, "export", None):
+            return cmd_experiment_export(args)
+        EXPERIMENTS[args.name](args)
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+#: experiments with a flat-record exporter: name -> (runner, to_records)
+def _exporters():
+    from .bench import export as ex
+
+    return {
+        "fig3": (lambda a: fig3_motivation(), ex.rows_to_records),
+        "fig4": (lambda a: fig4_empty_crossbars(), ex.fig4_to_records),
+        "fig5": (lambda a: fig5_tradeoff(), ex.fig5_to_records),
+        "fig9": (
+            lambda a: fig9_overall(rounds=a.rounds, seed=a.seed),
+            ex.overall_to_records,
+        ),
+        "fig10": (
+            lambda a: fig10_ablation(rounds=a.rounds, seed=a.seed),
+            ex.ablation_to_records,
+        ),
+        "table3": (
+            lambda a: table3_strategies(rounds=a.rounds, seed=a.seed),
+            ex.table3_to_records,
+        ),
+        "table4": (
+            lambda a: table4_tiles(rounds=a.rounds, seed=a.seed),
+            ex.table4_to_records,
+        ),
+        "table5": (
+            lambda a: table5_area_latency(rounds=a.rounds, seed=a.seed),
+            ex.rows_to_records,
+        ),
+    }
+
+
+def cmd_experiment_export(args: argparse.Namespace) -> int:
+    from .bench.export import to_csv, to_json
+
+    if args.name == "all":
+        from .bench.suite import run_full_suite, summarize_suite
+
+        doc = run_full_suite(rounds=args.rounds, seed=args.seed, verbose=True)
+        import json as _json
+        from pathlib import Path as _Path
+
+        _Path(args.export).write_text(_json.dumps(doc, indent=2))
+        print(summarize_suite(doc))
+        print(f"wrote full suite document to {args.export}")
+        return 0
+
+    exporters = _exporters()
+    if args.name not in exporters:
+        raise SystemExit(
+            f"experiment {args.name!r} has no flat-record exporter; "
+            f"exportable: {sorted(exporters)}"
+        )
+    runner, to_records = exporters[args.name]
+    records = to_records(runner(args))
+    path = args.export
+    writer = to_csv if str(path).endswith(".csv") else to_json
+    writer(records, path)
+    print(f"wrote {len(records)} records to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

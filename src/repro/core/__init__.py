@@ -1,0 +1,5 @@
+"""AutoHet core: RL search, allocation schemes, and strategy producers."""
+
+from .autohet import AutoHet, SearchResult, autohet_search
+
+__all__ = ["AutoHet", "SearchResult", "autohet_search"]

@@ -1,0 +1,131 @@
+"""Multi-model tile sharing (extension beyond the paper's evaluation).
+
+§3.4 notes that tiles released by the tile-shared scheme "become available
+for other layers in the DNN model *or other models*."  This module takes
+that sentence to its conclusion: co-locate several DNNs on one
+accelerator, letting Algorithm 1 pack same-shape tiles *across* model
+boundaries.
+
+Layer indices are globalised (each model's layers are re-indexed into one
+namespace) so the standard :class:`Allocation` machinery and its
+invariants apply unchanged; the result records which global index range
+belongs to which model, plus the tile savings relative to giving every
+model its own accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ...arch.config import CrossbarShape
+from ...arch.mapping import LayerMapping, map_layer
+from ...models.graph import Network
+from .tile_based import allocate_tile_based
+from .tile_shared import apply_tile_sharing
+from .tiles import Allocation
+
+
+@dataclass(frozen=True)
+class ModelSlice:
+    """One co-located model's global layer-index range."""
+
+    name: str
+    start: int  #: first global layer index (inclusive)
+    stop: int   #: one past the last global layer index
+
+    def owns(self, global_index: int) -> bool:
+        return self.start <= global_index < self.stop
+
+
+@dataclass(frozen=True)
+class MultiModelAllocation:
+    """Several networks packed onto one accelerator."""
+
+    allocation: Allocation
+    slices: tuple[ModelSlice, ...]
+    #: occupied tiles if each model were allocated separately (same scheme)
+    separate_tiles: int
+
+    @property
+    def occupied_tiles(self) -> int:
+        return self.allocation.occupied_tiles
+
+    @property
+    def tiles_saved(self) -> int:
+        """Tiles saved by cross-model sharing vs separate accelerators."""
+        return self.separate_tiles - self.occupied_tiles
+
+    @property
+    def utilization(self) -> float:
+        return self.allocation.utilization
+
+    def shared_tiles(self) -> tuple:
+        """Tiles hosting layers from more than one model."""
+        out = []
+        for tile in self.allocation.tiles:
+            owners = {
+                s.name for idx in tile.occupants for s in self.slices if s.owns(idx)
+            }
+            if len(owners) > 1:
+                out.append(tile)
+        return tuple(out)
+
+    def model_tiles(self, name: str) -> int:
+        """Tiles holding at least one crossbar of the named model."""
+        sl = next(s for s in self.slices if s.name == name)
+        return sum(
+            1
+            for tile in self.allocation.tiles
+            if any(sl.owns(idx) for idx in tile.occupants)
+        )
+
+
+def allocate_multi_network(
+    workloads: Sequence[tuple[Network, Sequence[CrossbarShape]]],
+    tile_capacity: int,
+    *,
+    tile_shared: bool = True,
+) -> MultiModelAllocation:
+    """Map several (network, strategy) pairs onto one accelerator.
+
+    Each model keeps its own per-layer crossbar strategy; the allocator
+    treats the concatenation as one big layer list, so Algorithm 1 can
+    merge sparsely-filled tiles across models (it only ever merges tiles
+    of identical crossbar geometry, as always).
+    """
+    if not workloads:
+        raise ValueError("need at least one workload")
+    mappings: list[LayerMapping] = []
+    slices: list[ModelSlice] = []
+    offset = 0
+    separate = 0
+    for network, strategy in workloads:
+        strategy = tuple(strategy)
+        if len(strategy) != network.num_layers:
+            raise ValueError(
+                f"{network.name}: strategy length {len(strategy)} != "
+                f"{network.num_layers} layers"
+            )
+        model_mappings = [
+            map_layer(layer.with_index(offset + i), shape)
+            for i, (layer, shape) in enumerate(zip(network.layers, strategy))
+        ]
+        mappings.extend(model_mappings)
+        slices.append(
+            ModelSlice(network.name, offset, offset + network.num_layers)
+        )
+        offset += network.num_layers
+        solo = allocate_tile_based(model_mappings, tile_capacity)
+        if tile_shared:
+            solo = apply_tile_sharing(solo)
+        separate += solo.occupied_tiles
+
+    combined = allocate_tile_based(mappings, tile_capacity)
+    if tile_shared:
+        combined = apply_tile_sharing(combined)
+    return MultiModelAllocation(
+        allocation=combined,
+        slices=tuple(slices),
+        separate_tiles=separate,
+    )

@@ -1,0 +1,100 @@
+"""The tile-shared crossbar allocation scheme (§3.4, Algorithm 1).
+
+The key idea: allow several DNN layers to share one tile, packing the
+occupied crossbars of sparsely-filled tiles into the free slots of other
+tiles *with the same crossbar geometry*, then releasing the emptied tiles.
+
+Algorithm 1 (transcribed literally):
+
+1. Group the used tiles by crossbar size.
+2. Within each group, sort tiles ascending by their number of empty
+   crossbars.
+3. Walk a head pointer from the start (fewest empties) and a tail pointer
+   from the end (most empties).  Whenever
+   ``head.empty + tail.empty >= capacity`` the tail tile's occupied
+   crossbars all fit into the head tile's free slots: merge them
+   (``combMap[head].append(tail)``), set
+   ``head.empty <- head.empty + tail.empty - capacity``, mark the tail
+   tile released, and retreat the tail pointer.  Otherwise advance the
+   head pointer.
+4. Stop when the pointers meet.  Time complexity O(N) after the sort.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .tiles import Allocation, Tile
+
+
+def plan_tile_sharing(
+    tiles: Sequence[Tile], capacity: int
+) -> dict[int, list[int]]:
+    """Run Algorithm 1 over one same-shape tile group.
+
+    Returns the ``combMap``: absorbing tile id -> list of absorbed tile
+    ids.  Pure planning — no tile is mutated.
+    """
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    comb_map: dict[int, list[int]] = {}
+    # Sorted ascending by empty count (Algorithm 1, line 2).  The working
+    # list tracks each tile's *current* empty count as merges proceed.
+    order = sorted(tiles, key=lambda t: t.empty)
+    empties = [t.empty for t in order]
+    head = 0
+    tail = len(order) - 1
+    while head < tail:
+        if empties[head] + empties[tail] >= capacity:
+            # Tail's occupied crossbars (capacity - empties[tail]) all fit
+            # into head's free slots.
+            empties[head] = empties[head] + empties[tail] - capacity
+            empties[tail] = 0
+            comb_map.setdefault(order[head].tile_id, []).append(
+                order[tail].tile_id
+            )
+            tail -= 1
+        else:
+            head += 1
+    return comb_map
+
+
+def apply_tile_sharing(allocation: Allocation) -> Allocation:
+    """Plan and execute tile sharing over a tile-based allocation.
+
+    For every same-shape tile group, :func:`plan_tile_sharing` decides
+    which tiles merge; this function then performs the remapping — moving
+    each absorbed tile's occupants into its absorber and dropping the
+    released tiles — and returns a new, validated :class:`Allocation`.
+    """
+    by_id: dict[int, Tile] = {
+        t.tile_id: t.clone() for t in allocation.tiles if t.occupied > 0
+    }
+    comb_map: dict[int, tuple[int, ...]] = {}
+    groups: dict = {}
+    for tile in by_id.values():
+        groups.setdefault(tile.shape, []).append(tile)
+    released: set[int] = set()
+    for shape, group in groups.items():
+        plan = plan_tile_sharing(group, allocation.tile_capacity)
+        for head_id, tail_ids in plan.items():
+            head = by_id[head_id]
+            for tail_id in tail_ids:
+                tail = by_id[tail_id]
+                for layer_index, count in tail.occupants.items():
+                    head.add(layer_index, count)
+                tail.occupants.clear()
+                head.absorbed.append(tail_id)
+                released.add(tail_id)
+            comb_map[head_id] = tuple(tail_ids)
+    survivors = tuple(
+        by_id[tid] for tid in sorted(by_id) if tid not in released
+    )
+    shared = Allocation(
+        mappings=allocation.mappings,
+        tiles=survivors,
+        tile_capacity=allocation.tile_capacity,
+        comb_map=comb_map,
+    )
+    shared.validate()
+    return shared

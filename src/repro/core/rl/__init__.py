@@ -1,0 +1,34 @@
+"""Reinforcement-learning crossbar-configuration search (§3.2, DDPG)."""
+
+from .ddpg import DDPGAgent, DDPGConfig
+from .environment import (
+    STATE_DIM,
+    CrossbarSearchEnv,
+    EpisodeResult,
+    reward_energy,
+    reward_rue,
+    reward_utilization,
+)
+from .networks import MLP, Adam
+from .noise import OrnsteinUhlenbeckNoise, TruncatedNormalNoise
+from .replay import ExperiencePool, Transition
+from .td3 import TD3Agent, TD3Config
+
+__all__ = [
+    "DDPGAgent",
+    "DDPGConfig",
+    "STATE_DIM",
+    "CrossbarSearchEnv",
+    "EpisodeResult",
+    "reward_energy",
+    "reward_rue",
+    "reward_utilization",
+    "MLP",
+    "Adam",
+    "OrnsteinUhlenbeckNoise",
+    "TruncatedNormalNoise",
+    "ExperiencePool",
+    "Transition",
+    "TD3Agent",
+    "TD3Config",
+]

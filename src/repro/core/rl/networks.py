@@ -1,0 +1,189 @@
+"""Minimal feed-forward neural networks with manual backprop (NumPy only).
+
+The DDPG agent (§3.2) needs an actor and a critic — small MLPs.  No deep
+learning framework is available offline, so this module implements exactly
+what DDPG requires: dense layers, ReLU/tanh/sigmoid activations, forward
+passes with cached intermediates, reverse-mode gradients (including the
+gradient with respect to the *input*, which the actor update needs through
+the critic), an Adam optimizer, and Polyak (soft) target-network updates.
+
+Gradients are verified against finite differences in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+Activation = str  # "relu" | "tanh" | "sigmoid" | "linear"
+
+
+def _act(name: Activation, z: np.ndarray) -> np.ndarray:
+    if name == "relu":
+        return np.maximum(z, 0.0)
+    if name == "tanh":
+        return np.tanh(z)
+    if name == "sigmoid":
+        return 1.0 / (1.0 + np.exp(-z))
+    if name == "linear":
+        return z
+    raise ValueError(f"unknown activation {name!r}")
+
+
+def _act_grad(name: Activation, z: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """d activation / d z given pre-activation ``z`` and output ``a``."""
+    if name == "relu":
+        return (z > 0.0).astype(z.dtype)
+    if name == "tanh":
+        return 1.0 - a * a
+    if name == "sigmoid":
+        return a * (1.0 - a)
+    if name == "linear":
+        return np.ones_like(z)
+    raise ValueError(f"unknown activation {name!r}")
+
+
+@dataclass
+class MLP:
+    """A fully-connected network ``in -> hidden... -> out``."""
+
+    sizes: tuple[int, ...]
+    hidden_activation: Activation = "relu"
+    output_activation: Activation = "linear"
+    weights: list[np.ndarray] = field(default_factory=list)
+    biases: list[np.ndarray] = field(default_factory=list)
+
+    @staticmethod
+    def create(
+        sizes: Sequence[int],
+        *,
+        hidden_activation: Activation = "relu",
+        output_activation: Activation = "linear",
+        rng: np.random.Generator | None = None,
+    ) -> "MLP":
+        """He/Xavier-initialised network."""
+        if len(sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        weights, biases = [], []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            biases.append(np.zeros(fan_out))
+        return MLP(
+            tuple(sizes),
+            hidden_activation,
+            output_activation,
+            weights,
+            biases,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        return len(self.weights)
+
+    def parameters(self) -> list[np.ndarray]:
+        return self.weights + self.biases
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Plain forward pass (no cache)."""
+        return self._forward_cached(np.atleast_2d(x))[0]
+
+    def _forward_cached(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, list[tuple[np.ndarray, np.ndarray, np.ndarray]]]:
+        """Forward pass caching (input, pre-activation, activation) per layer."""
+        cache = []
+        a = x
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = a @ w + b
+            name = (
+                self.output_activation
+                if i == self.num_layers - 1
+                else self.hidden_activation
+            )
+            out = _act(name, z)
+            cache.append((a, z, out))
+            a = out
+        return a, cache
+
+    def backward(
+        self, x: np.ndarray, upstream: np.ndarray
+    ) -> tuple[list[np.ndarray], list[np.ndarray], np.ndarray]:
+        """Reverse-mode pass.
+
+        ``upstream`` is dLoss/dOutput of shape (batch, out).  Returns
+        (weight grads, bias grads, dLoss/dInput).
+        """
+        x = np.atleast_2d(x)
+        _, cache = self._forward_cached(x)
+        grad_w: list[np.ndarray] = [np.empty(0)] * self.num_layers
+        grad_b: list[np.ndarray] = [np.empty(0)] * self.num_layers
+        delta = np.atleast_2d(upstream)
+        for i in reversed(range(self.num_layers)):
+            a_in, z, a_out = cache[i]
+            name = (
+                self.output_activation
+                if i == self.num_layers - 1
+                else self.hidden_activation
+            )
+            delta = delta * _act_grad(name, z, a_out)
+            grad_w[i] = a_in.T @ delta
+            grad_b[i] = delta.sum(axis=0)
+            delta = delta @ self.weights[i].T
+        return grad_w, grad_b, delta
+
+    # ------------------------------------------------------------------
+    def clone(self) -> "MLP":
+        return MLP(
+            self.sizes,
+            self.hidden_activation,
+            self.output_activation,
+            [w.copy() for w in self.weights],
+            [b.copy() for b in self.biases],
+        )
+
+    def soft_update_from(self, source: "MLP", tau: float) -> None:
+        """Polyak averaging: ``theta <- tau * source + (1 - tau) * theta``."""
+        if not 0.0 <= tau <= 1.0:
+            raise ValueError("tau must be in [0, 1]")
+        for mine, theirs in zip(self.parameters(), source.parameters()):
+            mine *= 1.0 - tau
+            mine += tau * theirs
+
+    def copy_from(self, source: "MLP") -> None:
+        self.soft_update_from(source, 1.0)
+
+
+@dataclass
+class Adam:
+    """Adam optimizer over a list of parameter arrays (updated in place)."""
+
+    params: list[np.ndarray]
+    lr: float = 1e-3
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-8
+    _m: list[np.ndarray] = field(default_factory=list)
+    _v: list[np.ndarray] = field(default_factory=list)
+    _t: int = 0
+
+    def __post_init__(self) -> None:
+        self._m = [np.zeros_like(p) for p in self.params]
+        self._v = [np.zeros_like(p) for p in self.params]
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        if len(grads) != len(self.params):
+            raise ValueError("gradient list length mismatch")
+        self._t += 1
+        bc1 = 1.0 - self.beta1**self._t
+        bc2 = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(self.params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)

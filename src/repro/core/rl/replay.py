@@ -1,0 +1,75 @@
+"""The experience pool (§3.2).
+
+After each inference, the pool collects the per-layer transitions
+``E_k = (S_k, S_{k+1}, a_k, R)`` (Eq. 3) — the whole-model reward is
+broadcast to every layer's transition.  The agent samples uniform random
+mini-batches to update the actor-critic pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One experience tuple ``(S_k, S_{k+1}, a_k, R)`` plus a terminal flag."""
+
+    state: np.ndarray
+    next_state: np.ndarray
+    action: float
+    reward: float
+    done: bool
+
+
+class ExperiencePool:
+    """Fixed-capacity ring buffer with uniform sampling."""
+
+    def __init__(self, capacity: int, *, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._buffer: list[Transition] = []
+        self._cursor = 0
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def full(self) -> bool:
+        return len(self._buffer) == self.capacity
+
+    def add(self, transition: Transition) -> None:
+        if len(self._buffer) < self.capacity:
+            self._buffer.append(transition)
+        else:
+            self._buffer[self._cursor] = transition
+        self._cursor = (self._cursor + 1) % self.capacity
+
+    def extend(self, transitions) -> None:
+        for t in transitions:
+            self.add(t)
+
+    def sample(
+        self, batch_size: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Uniform mini-batch as stacked arrays.
+
+        Returns ``(states, next_states, actions, rewards, dones)`` with
+        shapes ``(B, D), (B, D), (B, 1), (B, 1), (B, 1)``.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if not self._buffer:
+            raise ValueError("cannot sample from an empty pool")
+        idx = self._rng.integers(0, len(self._buffer), size=batch_size)
+        batch = [self._buffer[i] for i in idx]
+        states = np.stack([t.state for t in batch])
+        next_states = np.stack([t.next_state for t in batch])
+        actions = np.array([[t.action] for t in batch])
+        rewards = np.array([[t.reward] for t in batch])
+        dones = np.array([[float(t.done)] for t in batch])
+        return states, next_states, actions, rewards, dones

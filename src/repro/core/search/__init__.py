@@ -1,0 +1,38 @@
+"""Strategy producers: candidate sets, baselines, and search algorithms."""
+
+from .annealing import AnnealingSchedule, simulated_annealing
+from .candidates import (
+    all_shapes,
+    hybrid_candidates,
+    ratio_candidates,
+    rectangle_candidates,
+    sized_candidates,
+    square_candidates,
+)
+from .strategies import (
+    best_homogeneous,
+    exhaustive_search,
+    greedy_reward_strategy,
+    greedy_utilization_strategy,
+    homogeneous_strategy,
+    manual_hetero_strategy,
+    random_search,
+)
+
+__all__ = [
+    "AnnealingSchedule",
+    "simulated_annealing",
+    "all_shapes",
+    "hybrid_candidates",
+    "ratio_candidates",
+    "rectangle_candidates",
+    "sized_candidates",
+    "square_candidates",
+    "best_homogeneous",
+    "exhaustive_search",
+    "greedy_reward_strategy",
+    "greedy_utilization_strategy",
+    "homogeneous_strategy",
+    "manual_hetero_strategy",
+    "random_search",
+]

@@ -1,0 +1,76 @@
+"""Crossbar candidate-set construction (§3.3, §4.3, §4.4).
+
+The ten shapes in play are the five squares (SXB: 32..512, powers of two)
+and the five rectangles (RXB: heights are multiples of 9 — 36x32, 72x64,
+144x128, 288x256, 576x512).  §3.3's default hybrid set for AutoHet is
+``32x32, 36x32, 72x64, 288x256, 576x512`` (one SXB + four RXBs).
+
+The sensitivity study (§4.4) varies (a) the SXB:RXB ratio at a fixed set
+size of five, and (b) the total number of candidates (2, 4, 8); helpers
+for both live here.
+"""
+
+from __future__ import annotations
+
+from ...arch.config import (
+    DEFAULT_CANDIDATES,
+    RECTANGLE_CANDIDATES,
+    SQUARE_CANDIDATES,
+    CrossbarShape,
+)
+
+
+def hybrid_candidates() -> tuple[CrossbarShape, ...]:
+    """The §3.3 default: 32x32, 36x32, 72x64, 288x256, 576x512."""
+    return DEFAULT_CANDIDATES
+
+
+def square_candidates() -> tuple[CrossbarShape, ...]:
+    """The five homogeneous baseline squares."""
+    return SQUARE_CANDIDATES
+
+
+def rectangle_candidates() -> tuple[CrossbarShape, ...]:
+    """The five §4.3 rectangles (heights are multiples of 9)."""
+    return RECTANGLE_CANDIDATES
+
+
+def ratio_candidates(num_square: int, num_rect: int) -> tuple[CrossbarShape, ...]:
+    """An ``aSbR`` candidate set for the Fig. 11(a) sweep.
+
+    Picks the ``num_square`` *largest* squares and ``num_rect`` largest
+    rectangles from the ten §4.3 shapes — large shapes are the energy-
+    relevant end of the spectrum, and keeping selection deterministic
+    makes the sweep reproducible.
+    """
+    if num_square < 0 or num_rect < 0 or num_square + num_rect == 0:
+        raise ValueError("need a positive total number of candidates")
+    if num_square > len(SQUARE_CANDIDATES) or num_rect > len(RECTANGLE_CANDIDATES):
+        raise ValueError("not enough shapes of the requested kind")
+    squares = SQUARE_CANDIDATES[len(SQUARE_CANDIDATES) - num_square :]
+    rects = RECTANGLE_CANDIDATES[len(RECTANGLE_CANDIDATES) - num_rect :]
+    return tuple(sorted(squares + rects, key=lambda s: (s.cells, s.rows)))
+
+
+def sized_candidates(count: int) -> tuple[CrossbarShape, ...]:
+    """A candidate set of the requested size for the Fig. 11(b) sweep.
+
+    Alternates rectangles and squares from large to small so every set
+    size mixes both families, then sorts ascending by cell count.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    interleaved: list[CrossbarShape] = []
+    for rect, square in zip(reversed(RECTANGLE_CANDIDATES), reversed(SQUARE_CANDIDATES)):
+        interleaved.extend((rect, square))
+    if count > len(interleaved):
+        raise ValueError(f"at most {len(interleaved)} candidates available")
+    chosen = interleaved[:count]
+    return tuple(sorted(chosen, key=lambda s: (s.cells, s.rows)))
+
+
+def all_shapes() -> tuple[CrossbarShape, ...]:
+    """All ten §4.3 shapes, ascending by cell count."""
+    return tuple(
+        sorted(SQUARE_CANDIDATES + RECTANGLE_CANDIDATES, key=lambda s: (s.cells, s.rows))
+    )

@@ -1,0 +1,174 @@
+"""Non-RL strategy producers: homogeneous, manual-hetero, greedy, random,
+exhaustive (oracle).
+
+These are the comparison points of the paper's evaluation:
+
+* homogeneous accelerators — the §4.1 baselines;
+* the hand-crafted heterogeneous split of Fig. 3 (512x512 for the first
+  ten VGG16 layers, 256x256 for the last six);
+* the greedy per-layer picker in the spirit of Zhu et al. [29] (maximise
+  each layer's own utilization, ignoring energy);
+* random search — a sanity floor for the RL agent;
+* exhaustive search — the oracle, feasible only for small models, used by
+  tests to bound the RL optimality gap.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ...arch.config import CrossbarShape
+from ...arch.mapping import map_layer
+from ...models.graph import Network
+from ...sim.metrics import SystemMetrics
+from ...sim.simulator import Simulator, Strategy
+
+
+def homogeneous_strategy(network: Network, shape: CrossbarShape) -> Strategy:
+    """Every layer on the same crossbar type."""
+    return tuple(shape for _ in network.layers)
+
+
+def manual_hetero_strategy(
+    network: Network,
+    head_shape: CrossbarShape = CrossbarShape(512, 512),
+    tail_shape: CrossbarShape = CrossbarShape(256, 256),
+    split: int = 10,
+) -> Strategy:
+    """The Fig. 3 hand-tuned heterogeneous configuration.
+
+    The paper sets 512x512 for the first ten VGG16 layers and 256x256 for
+    the remaining six.
+    """
+    if not 0 <= split <= network.num_layers:
+        raise ValueError(f"split {split} out of range")
+    return tuple(
+        head_shape if i < split else tail_shape
+        for i in range(network.num_layers)
+    )
+
+
+def greedy_utilization_strategy(
+    network: Network, candidates: Sequence[CrossbarShape]
+) -> Strategy:
+    """Per-layer greedy: the shape maximising that layer's Eq. 4 utilization.
+
+    Ties break toward the larger crossbar (fewer peripheral sets).  This is
+    the utilization-first local heuristic of the mixed-size-crossbar line
+    of work [29] that AutoHet's global, energy-aware search improves on.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate")
+    strategy = []
+    for layer in network.layers:
+        best = max(
+            candidates,
+            key=lambda s: (map_layer(layer, s).utilization, s.cells),
+        )
+        strategy.append(best)
+    return tuple(strategy)
+
+
+def greedy_reward_strategy(
+    network: Network,
+    candidates: Sequence[CrossbarShape],
+    simulator: Simulator | None = None,
+    *,
+    tile_shared: bool = True,
+) -> Strategy:
+    """Coordinate-ascent greedy on the global reward.
+
+    Starts from the per-layer utilization greedy and sweeps layers once,
+    replacing each layer's shape with the candidate that maximises the
+    whole-model ``R = u / e``.  A cheap, strong non-RL baseline.
+    """
+    sim = simulator if simulator is not None else Simulator()
+    strategy = list(greedy_utilization_strategy(network, candidates))
+    for i in range(network.num_layers):
+        best_shape = strategy[i]
+        best_reward = -math.inf
+        for shape in candidates:
+            trial = list(strategy)
+            trial[i] = shape
+            metrics = sim.evaluate(
+                network, tuple(trial), tile_shared=tile_shared, detailed=False
+            )
+            if metrics.reward > best_reward:
+                best_reward = metrics.reward
+                best_shape = shape
+        strategy[i] = best_shape
+    return tuple(strategy)
+
+
+def random_search(
+    network: Network,
+    candidates: Sequence[CrossbarShape],
+    simulator: Simulator | None = None,
+    *,
+    rounds: int = 100,
+    tile_shared: bool = True,
+    seed: int = 0,
+) -> tuple[Strategy, SystemMetrics]:
+    """Uniform random strategies; returns the best found."""
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    sim = simulator if simulator is not None else Simulator()
+    rng = np.random.default_rng(seed)
+    best: tuple[Strategy, SystemMetrics] | None = None
+    for _ in range(rounds):
+        picks = rng.integers(0, len(candidates), size=network.num_layers)
+        strategy = tuple(candidates[i] for i in picks)
+        metrics = sim.evaluate(
+            network, strategy, tile_shared=tile_shared, detailed=False
+        )
+        if best is None or metrics.reward > best[1].reward:
+            best = (strategy, metrics)
+    assert best is not None
+    return best
+
+
+def exhaustive_search(
+    network: Network,
+    candidates: Sequence[CrossbarShape],
+    simulator: Simulator | None = None,
+    *,
+    tile_shared: bool = True,
+    limit: int = 2_000_000,
+) -> tuple[Strategy, SystemMetrics]:
+    """Brute-force oracle over the full C^N space (small models only)."""
+    space = len(candidates) ** network.num_layers
+    if space > limit:
+        raise ValueError(
+            f"search space {space} exceeds limit {limit}; "
+            "exhaustive search is for small models"
+        )
+    sim = simulator if simulator is not None else Simulator()
+    best: tuple[Strategy, SystemMetrics] | None = None
+    for combo in itertools.product(candidates, repeat=network.num_layers):
+        metrics = sim.evaluate(
+            network, combo, tile_shared=tile_shared, detailed=False
+        )
+        if best is None or metrics.reward > best[1].reward:
+            best = (combo, metrics)
+    assert best is not None
+    return best
+
+
+def best_homogeneous(
+    network: Network,
+    shapes: Sequence[CrossbarShape],
+    simulator: Simulator | None = None,
+    *,
+    tile_shared: bool = False,
+) -> tuple[CrossbarShape, SystemMetrics]:
+    """The highest-RUE homogeneous accelerator ("Best-Homo", §4.4)."""
+    sim = simulator if simulator is not None else Simulator()
+    scored = [
+        (shape, sim.evaluate_homogeneous(network, shape, tile_shared=tile_shared))
+        for shape in shapes
+    ]
+    return max(scored, key=lambda pair: pair[1].rue)

@@ -1,0 +1,38 @@
+"""DNN workload substrate: layer specs, networks, and synthetic datasets."""
+
+from .datasets import CIFAR10, IMAGENET, MNIST, DatasetSpec, get_dataset
+from .graph import Network
+from .layers import LayerSpec, LayerType, PoolSpec, Stage
+from .transformer import transformer_lm
+from .zoo import (
+    PAPER_WORKLOADS,
+    alexnet,
+    get_model,
+    lenet,
+    paper_workloads,
+    resnet152,
+    tiny_cnn,
+    vgg16,
+)
+
+__all__ = [
+    "CIFAR10",
+    "IMAGENET",
+    "MNIST",
+    "DatasetSpec",
+    "get_dataset",
+    "Network",
+    "LayerSpec",
+    "LayerType",
+    "PoolSpec",
+    "Stage",
+    "PAPER_WORKLOADS",
+    "alexnet",
+    "get_model",
+    "lenet",
+    "paper_workloads",
+    "resnet152",
+    "tiny_cnn",
+    "transformer_lm",
+    "vgg16",
+]

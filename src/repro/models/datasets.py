@@ -1,0 +1,100 @@
+"""Synthetic dataset descriptors and generators.
+
+The paper evaluates AlexNet on MNIST, VGG16 on CIFAR-10, and ResNet152 on
+ImageNet (§4.1).  None of those datasets can be downloaded in this offline
+environment, and — crucially — none of the reported metrics (utilization,
+energy, area, latency, RUE) depend on pixel values: they depend only on the
+input *shapes* that set per-layer feature-map sizes and MVM counts.
+
+We therefore model each dataset as a :class:`DatasetSpec` with the paper's
+shapes and provide deterministic synthetic generators so the functional
+inference engine and examples have real tensors to push through crossbars.
+This substitution is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape-level description of an image-classification dataset."""
+
+    name: str
+    image_size: int
+    channels: int
+    num_classes: int
+    train_examples: int = 0
+    test_examples: int = 0
+
+    def __post_init__(self) -> None:
+        if self.image_size <= 0 or self.channels <= 0 or self.num_classes <= 0:
+            raise ValueError("dataset dimensions must be positive")
+
+    @property
+    def input_shape(self) -> tuple[int, int, int]:
+        """(channels, height, width) of one example."""
+        return (self.channels, self.image_size, self.image_size)
+
+    def synthetic_batch(
+        self, batch: int, *, rng: np.random.Generator | None = None, seed: int = 0
+    ) -> np.ndarray:
+        """Deterministic synthetic images in [0, 1], shape (B, C, H, W).
+
+        The generator blends low-frequency structure (so pooling and conv
+        outputs are not pure noise) with pixel noise.
+        """
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        c, h, w = self.input_shape
+        yy, xx = np.meshgrid(np.linspace(0, np.pi, h), np.linspace(0, np.pi, w), indexing="ij")
+        base = 0.5 + 0.5 * np.sin(yy * 2.0) * np.cos(xx * 3.0)
+        images = np.empty((batch, c, h, w), dtype=np.float64)
+        for b in range(batch):
+            phase = rng.uniform(0, np.pi)
+            noise = rng.normal(0.0, 0.15, size=(c, h, w))
+            images[b] = np.clip(base * np.cos(phase) ** 2 + 0.25 + noise, 0.0, 1.0)
+        return images
+
+    def synthetic_labels(
+        self, batch: int, *, rng: np.random.Generator | None = None, seed: int = 0
+    ) -> np.ndarray:
+        """Deterministic synthetic integer labels, shape (B,)."""
+        if rng is None:
+            rng = np.random.default_rng(seed)
+        return rng.integers(0, self.num_classes, size=batch)
+
+
+# Paper §4.1 dataset trio, with the published shapes.
+MNIST = DatasetSpec(
+    name="MNIST", image_size=28, channels=1, num_classes=10,
+    train_examples=60_000, test_examples=10_000,
+)
+CIFAR10 = DatasetSpec(
+    name="CIFAR-10", image_size=32, channels=3, num_classes=10,
+    train_examples=50_000, test_examples=10_000,
+)
+IMAGENET = DatasetSpec(
+    name="ImageNet", image_size=224, channels=3, num_classes=1000,
+    train_examples=1_281_167, test_examples=50_000,
+)
+
+_REGISTRY = {d.name.lower(): d for d in (MNIST, CIFAR10, IMAGENET)}
+_REGISTRY["cifar10"] = CIFAR10
+_REGISTRY["imagenet"] = IMAGENET
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset spec by (case-insensitive) name."""
+    key = name.lower().replace("_", "-")
+    if key in _REGISTRY:
+        return _REGISTRY[key]
+    key = key.replace("-", "")
+    if key in _REGISTRY:
+        return _REGISTRY[key]
+    raise KeyError(f"unknown dataset {name!r}; known: {sorted(set(_REGISTRY))}")

@@ -1,0 +1,62 @@
+"""Transformer-block workload (extension; §4.5 "applicability").
+
+The paper closes by arguing the heterogeneous-crossbar idea generalises
+to large language models.  A transformer block's weight-bearing matrices
+are all dense projections — exactly FC layers in the crossbar-mapping
+sense — so the AutoHet search applies unchanged:
+
+* per attention block: Q, K, V projections (``d x d``) and the output
+  projection (``d x d``);
+* per MLP block: up projection (``d x 4d``) and down projection
+  (``4d x d``);
+* a final LM head (``d x vocab``).
+
+Attention's dynamic ``QK^T`` products are not weight-stationary and stay
+off-crossbar (as in ReRAM LLM-acceleration proposals); only the static
+projection matrices map to crossbars, which is what this workload models.
+"""
+
+from __future__ import annotations
+
+from .datasets import DatasetSpec
+from .graph import Network
+from .layers import LayerSpec
+
+
+def transformer_lm(
+    *,
+    num_blocks: int = 4,
+    d_model: int = 512,
+    mlp_ratio: int = 4,
+    vocab_size: int = 4096,
+    name: str | None = None,
+) -> Network:
+    """A decoder-style transformer's crossbar-mappable projection stack."""
+    if num_blocks <= 0 or d_model <= 0 or mlp_ratio <= 0 or vocab_size <= 0:
+        raise ValueError("all transformer dimensions must be positive")
+    dataset = DatasetSpec(
+        name=f"tokens-d{d_model}", image_size=1, channels=d_model,
+        num_classes=vocab_size,
+    )
+    layers: list[LayerSpec] = []
+    for b in range(num_blocks):
+        prefix = f"block{b + 1}"
+        for proj in ("q", "k", "v", "o"):
+            layers.append(
+                LayerSpec.fc(d_model, d_model, name=f"{prefix}.attn.{proj}")
+            )
+        layers.append(
+            LayerSpec.fc(d_model, d_model * mlp_ratio, name=f"{prefix}.mlp.up")
+        )
+        layers.append(
+            LayerSpec.fc(d_model * mlp_ratio, d_model, name=f"{prefix}.mlp.down")
+        )
+    layers.append(LayerSpec.fc(d_model, vocab_size, name="lm_head"))
+    indexed = [l.with_index(i) for i, l in enumerate(layers)]
+    from .layers import Stage
+
+    return Network(
+        name=name or f"TransformerLM-{num_blocks}x{d_model}",
+        dataset=dataset,
+        stages=tuple(Stage(layer=l) for l in indexed),
+    )

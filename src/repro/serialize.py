@@ -1,0 +1,119 @@
+"""Serialization: strategies, search results, and hardware configs.
+
+A searched crossbar configuration is the *product* of AutoHet — the RL
+training runs once offline, "but the decision result is used many times"
+(§4.5).  This module gives that product a durable form:
+
+* strategies <-> compact string lists (``["576x512", ...]``) / JSON;
+* :class:`~repro.core.autohet.SearchResult` -> a JSON document capturing
+  the strategy, metrics, convergence curve, and timing split;
+* :class:`~repro.arch.config.HardwareConfig` <-> plain dicts / JSON, so a
+  platform description can live in a versioned file.
+
+Everything round-trips: ``load_*(dump_*(x))`` reproduces ``x`` (for
+configs and strategies exactly; for results, every recorded field).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from .arch.config import CrossbarShape, HardwareConfig
+from .core.autohet import SearchResult
+from .sim.metrics import SystemMetrics
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def strategy_to_list(strategy: Sequence[CrossbarShape]) -> list[str]:
+    """``(CrossbarShape(576, 512), ...)`` -> ``["576x512", ...]``."""
+    return [str(s) for s in strategy]
+
+
+def strategy_from_list(items: Sequence[str]) -> tuple[CrossbarShape, ...]:
+    """Inverse of :func:`strategy_to_list`."""
+    return tuple(CrossbarShape.parse(s) for s in items)
+
+
+def save_strategy(strategy: Sequence[CrossbarShape], path: str | Path) -> None:
+    Path(path).write_text(json.dumps(strategy_to_list(strategy), indent=2))
+
+
+def load_strategy(path: str | Path) -> tuple[CrossbarShape, ...]:
+    return strategy_from_list(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Hardware configs
+# ----------------------------------------------------------------------
+def config_to_dict(config: HardwareConfig) -> dict[str, Any]:
+    """All fields of a :class:`HardwareConfig` as a plain dict."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: dict[str, Any]) -> HardwareConfig:
+    """Build a config from a (possibly partial) dict; unknown keys fail."""
+    valid = {f.name for f in dataclasses.fields(HardwareConfig)}
+    unknown = set(data) - valid
+    if unknown:
+        raise ValueError(f"unknown HardwareConfig fields: {sorted(unknown)}")
+    return HardwareConfig(**data)
+
+
+def save_config(config: HardwareConfig, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(config_to_dict(config), indent=2))
+
+
+def load_config(path: str | Path) -> HardwareConfig:
+    return config_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Metrics and search results
+# ----------------------------------------------------------------------
+def metrics_to_dict(metrics: SystemMetrics) -> dict[str, Any]:
+    """The headline fields of a :class:`SystemMetrics` (no per-layer
+    detail — that is recomputable from the strategy)."""
+    return {
+        "network": metrics.network_name,
+        "strategy": list(metrics.strategy),
+        "utilization": metrics.utilization,
+        "energy_nj": metrics.energy_nj,
+        "latency_ns": metrics.latency_ns,
+        "area_um2": metrics.area_um2,
+        "rue": metrics.rue,
+        "occupied_tiles": metrics.occupied_tiles,
+        "occupied_crossbars": metrics.occupied_crossbars,
+        "empty_crossbars": metrics.empty_crossbars,
+        "tile_shared": metrics.tile_shared,
+    }
+
+
+def result_to_dict(result: SearchResult) -> dict[str, Any]:
+    """A :class:`SearchResult` as a JSON-ready document."""
+    return {
+        "network": result.network_name,
+        "rounds": result.rounds,
+        "best_strategy": strategy_to_list(result.best_strategy),
+        "best_metrics": metrics_to_dict(result.best_metrics),
+        "reward_history": list(result.reward_history),
+        "best_reward_history": list(result.best_reward_history),
+        "timing": {
+            "decision_seconds": result.decision_seconds,
+            "simulator_seconds": result.simulator_seconds,
+            "learning_seconds": result.learning_seconds,
+        },
+    }
+
+
+def save_result(result: SearchResult, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result_strategy(path: str | Path) -> tuple[CrossbarShape, ...]:
+    """Recover just the deployable strategy from a saved result."""
+    data = json.loads(Path(path).read_text())
+    return strategy_from_list(data["best_strategy"])

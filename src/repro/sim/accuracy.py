@@ -1,0 +1,107 @@
+"""Classification-accuracy evaluation utilities (extension).
+
+The paper's metrics never touch accuracy — quantized crossbar inference
+is assumed faithful.  The functional engine lets us *check* that
+assumption: this module runs batches through both the crossbar pipeline
+and the float reference, and reports agreement and degradation under
+device faults.
+
+With random (untrained) weights "accuracy" against true labels is
+meaningless, so the headline metric is **prediction agreement**: how
+often the crossbar pipeline's argmax matches the float model's, plus the
+logit-level error.  For fault studies this is exactly the quantity of
+interest — an ideal pipeline scores 100% agreement by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch.config import CrossbarShape, DEFAULT_CONFIG, HardwareConfig
+from ..models.graph import Network
+from .functional import FunctionalNetworkEngine
+from .variation import VariationModel, inject_faults
+
+
+@dataclass(frozen=True)
+class AgreementReport:
+    """Crossbar-vs-float agreement over a batch."""
+
+    samples: int
+    agreements: int
+    mean_logit_rel_error: float
+    adc_saturations: int
+
+    @property
+    def agreement_rate(self) -> float:
+        return self.agreements / self.samples if self.samples else 0.0
+
+
+def evaluate_agreement(
+    network: Network,
+    strategy: tuple[CrossbarShape, ...],
+    *,
+    batch: int = 16,
+    seed: int = 0,
+    config: HardwareConfig = DEFAULT_CONFIG,
+    variation: VariationModel | None = None,
+) -> AgreementReport:
+    """Push a synthetic batch through crossbars and the float reference.
+
+    ``variation`` optionally injects device faults into every layer's
+    cell planes before inference.
+    """
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    engine = FunctionalNetworkEngine(network, strategy, config=config, seed=seed)
+    if variation is not None and not variation.is_ideal:
+        for i, layer_engine in enumerate(engine.engines):
+            inject_faults(
+                layer_engine,
+                VariationModel(
+                    conductance_sigma=variation.conductance_sigma,
+                    stuck_at_on=variation.stuck_at_on,
+                    stuck_at_off=variation.stuck_at_off,
+                    seed=variation.seed + i,
+                ),
+            )
+    images = network.dataset.synthetic_batch(batch, seed=seed + 1)
+    agreements = 0
+    errors = []
+    for b in range(batch):
+        q = engine.forward(images[b])
+        ref = engine.reference_forward(images[b])
+        agreements += int(np.argmax(q) == np.argmax(ref))
+        scale = float(np.abs(ref).max()) or 1.0
+        errors.append(float(np.abs(q - ref).max()) / scale)
+    return AgreementReport(
+        samples=batch,
+        agreements=agreements,
+        mean_logit_rel_error=float(np.mean(errors)),
+        adc_saturations=engine.counters().adc_saturations,
+    )
+
+
+def fault_sweep(
+    network: Network,
+    strategy: tuple[CrossbarShape, ...],
+    sigmas: tuple[float, ...] = (0.0, 0.3, 0.6, 1.0),
+    *,
+    batch: int = 8,
+    seed: int = 0,
+    config: HardwareConfig = DEFAULT_CONFIG,
+) -> dict[float, AgreementReport]:
+    """Agreement vs conductance-variation strength."""
+    return {
+        sigma: evaluate_agreement(
+            network,
+            strategy,
+            batch=batch,
+            seed=seed,
+            config=config,
+            variation=VariationModel(conductance_sigma=sigma, seed=seed),
+        )
+        for sigma in sigmas
+    }

@@ -1,0 +1,105 @@
+"""Weight-replication optimisation for pipeline balance (extension).
+
+Early CONV layers dominate a layer pipeline: a 32x32-input layer runs
+1024 MVMs per image while the FC head runs one.  ISAAC and PipeLayer
+replicate early layers' weight arrays so several sliding windows proceed
+in parallel.  Replication costs crossbars, so the question is where extra
+copies buy the most throughput under a crossbar budget.
+
+:func:`balance_replication` runs the classic greedy water-filling: while
+budget remains, give one more replica to the current bottleneck stage.
+Each step strictly reduces (or keeps) the bottleneck; the greedy choice
+is optimal for this min-max objective because only the bottleneck stage
+can improve the objective, and replicas are the only lever.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+from ..arch.config import CrossbarShape, DEFAULT_CONFIG, HardwareConfig
+from ..arch.mapping import map_layer
+from ..models.graph import Network
+from .pipeline import PipelineReport, pipeline_report, replication_crossbar_cost
+
+
+def balance_replication(
+    network: Network,
+    strategy: Sequence[CrossbarShape],
+    *,
+    crossbar_budget: int,
+    config: HardwareConfig = DEFAULT_CONFIG,
+) -> tuple[tuple[int, ...], PipelineReport]:
+    """Greedy water-filling of replicas under a logical-crossbar budget.
+
+    Parameters
+    ----------
+    crossbar_budget:
+        Total logical crossbars available (base mapping + replicas).
+        Must cover at least the unreplicated mapping.
+
+    Returns
+    -------
+    (replication factors, resulting pipeline report)
+    """
+    layers = network.layers
+    strategy = tuple(strategy)
+    if len(strategy) != len(layers):
+        raise ValueError("strategy length must equal layer count")
+    base_cost = replication_crossbar_cost(
+        network, strategy, [1] * len(layers)
+    )
+    if crossbar_budget < base_cost:
+        raise ValueError(
+            f"budget {crossbar_budget} below the unreplicated cost {base_cost}"
+        )
+    per_layer_cost = [
+        map_layer(layer, shape).num_crossbars
+        for layer, shape in zip(layers, strategy)
+    ]
+    replication = [1] * len(layers)
+    remaining = crossbar_budget - base_cost
+
+    # Max-heap keyed on current service time.
+    report = pipeline_report(network, strategy, replication=replication, config=config)
+    services = [s.service_ns for s in report.stages]
+    heap = [(-t, i) for i, t in enumerate(services)]
+    heapq.heapify(heap)
+
+    while heap:
+        neg_t, i = heapq.heappop(heap)
+        cost = per_layer_cost[i]
+        if cost > remaining:
+            # This stage can't afford another replica; it stays the
+            # bottleneck — adding replicas elsewhere cannot help min-max.
+            break
+        mvm = layers[i].mvm_ops
+        if replication[i] >= mvm:
+            # Already one replica per MVM; no further gain possible.
+            continue
+        replication[i] += 1
+        remaining -= cost
+        new_report = pipeline_report(
+            network, strategy, replication=replication, config=config
+        )
+        new_t = new_report.stages[i].service_ns
+        heapq.heappush(heap, (-new_t, i))
+
+    final = pipeline_report(network, strategy, replication=replication, config=config)
+    return tuple(replication), final
+
+
+def replication_speedup(
+    network: Network,
+    strategy: Sequence[CrossbarShape],
+    *,
+    crossbar_budget: int,
+    config: HardwareConfig = DEFAULT_CONFIG,
+) -> float:
+    """Throughput gain of the balanced plan over no replication."""
+    base = pipeline_report(network, strategy, config=config)
+    _, balanced = balance_replication(
+        network, strategy, crossbar_budget=crossbar_budget, config=config
+    )
+    return balanced.throughput_img_per_s / base.throughput_img_per_s

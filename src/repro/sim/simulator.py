@@ -1,0 +1,158 @@
+"""The behavioral accelerator simulator — the "hardware feedback" source.
+
+:class:`Simulator.evaluate` takes a network and a *strategy* (one crossbar
+shape per layer — the RL agent's action sequence, Fig. 6 step 4) and
+returns :class:`~repro.sim.metrics.SystemMetrics`: utilization, energy,
+latency, area, tile occupancy (steps 5-6).  This plays the role MNSIM 2.0
+plays in the paper (§4.1); see DESIGN.md for the substitution rationale.
+
+Evaluation is pure and deterministic: map every layer (Eq. 4 math),
+allocate tiles (tile-based, optionally tile-shared per §3.4), then roll up
+the analytic energy / latency / area models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..arch.config import DEFAULT_CONFIG, CrossbarShape, HardwareConfig
+from ..arch.mapping import LayerMapping, map_layer
+from ..core.allocation import (
+    Allocation,
+    allocate_tile_based,
+    apply_tile_sharing,
+)
+from ..models.graph import Network
+from .area import allocation_area_um2
+from .energy import (
+    layer_adc_conversions,
+    layer_dac_conversions,
+    layer_dynamic_energy,
+    leakage_energy,
+    pooling_energy,
+)
+from .latency import layer_latency_ns, pooling_latency_ns
+from .metrics import EnergyBreakdown, LayerCost, SystemMetrics
+
+#: A crossbar-configuration strategy: one shape per weight layer.
+Strategy = tuple[CrossbarShape, ...]
+
+
+class CapacityError(RuntimeError):
+    """Raised when a strategy needs more tiles than one bank provides."""
+
+
+@dataclass(frozen=True)
+class Simulator:
+    """Deterministic behavioral model of the heterogeneous accelerator."""
+
+    config: HardwareConfig = DEFAULT_CONFIG
+    #: raise :class:`CapacityError` when the allocation exceeds one bank
+    enforce_capacity: bool = True
+
+    # ------------------------------------------------------------------
+    def map_network(
+        self, network: Network, strategy: Sequence[CrossbarShape]
+    ) -> tuple[LayerMapping, ...]:
+        """Map every layer onto its assigned crossbar type."""
+        layers = network.layers
+        if len(strategy) != len(layers):
+            raise ValueError(
+                f"strategy length {len(strategy)} != layer count {len(layers)}"
+            )
+        return tuple(map_layer(layer, shape) for layer, shape in zip(layers, strategy))
+
+    def allocate(
+        self, mappings: Sequence[LayerMapping], *, tile_shared: bool
+    ) -> Allocation:
+        """Tile allocation, optionally followed by Algorithm 1 remapping."""
+        allocation = allocate_tile_based(
+            mappings, self.config.logical_xbars_per_tile
+        )
+        if tile_shared:
+            allocation = apply_tile_sharing(allocation)
+        if self.enforce_capacity and allocation.occupied_tiles > self.config.tiles_per_bank:
+            raise CapacityError(
+                f"strategy needs {allocation.occupied_tiles} tiles; one bank "
+                f"holds {self.config.tiles_per_bank}"
+            )
+        return allocation
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        network: Network,
+        strategy: Sequence[CrossbarShape],
+        *,
+        tile_shared: bool = True,
+        detailed: bool = True,
+    ) -> SystemMetrics:
+        """Full evaluation of one (network, strategy) pair."""
+        cfg = self.config
+        mappings = self.map_network(network, strategy)
+        allocation = self.allocate(mappings, tile_shared=tile_shared)
+
+        layer_costs: list[LayerCost] = []
+        dynamic = EnergyBreakdown()
+        latency = 0.0
+        for mapping in mappings:
+            e = layer_dynamic_energy(mapping, cfg)
+            t = layer_latency_ns(mapping, cfg)
+            dynamic = dynamic + e
+            latency += t
+            if detailed:
+                layer_costs.append(
+                    LayerCost(
+                        layer_index=mapping.layer.index,
+                        shape_str=str(mapping.shape),
+                        mvm_ops=mapping.layer.mvm_ops,
+                        num_crossbars=mapping.num_crossbars,
+                        adc_conversions=layer_adc_conversions(mapping, cfg),
+                        dac_conversions=layer_dac_conversions(mapping, cfg),
+                        energy=e,
+                        latency_ns=t,
+                        intra_utilization=mapping.utilization,
+                    )
+                )
+
+        pool_e = pooling_energy(network, cfg)
+        latency += pooling_latency_ns(network, cfg)
+        occupied_slots = sum(
+            t.capacity for t in allocation.tiles if t.occupied > 0
+        )
+        leak = leakage_energy(
+            allocation.occupied_tiles,
+            occupied_slots,
+            allocation.allocated_cells,
+            latency,
+            cfg,
+        )
+        breakdown = dynamic + EnergyBreakdown(pooling=pool_e, leakage=leak)
+
+        return SystemMetrics(
+            network_name=network.name,
+            strategy=tuple(str(s) for s in strategy),
+            utilization=allocation.utilization,
+            energy_nj=breakdown.total,
+            latency_ns=latency,
+            area_um2=allocation_area_um2(allocation, cfg),
+            occupied_tiles=allocation.occupied_tiles,
+            occupied_crossbars=sum(m.num_crossbars for m in mappings),
+            empty_crossbars=allocation.empty_crossbars,
+            tile_shared=tile_shared,
+            energy_breakdown=breakdown,
+            layer_costs=tuple(layer_costs),
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate_homogeneous(
+        self, network: Network, shape: CrossbarShape, *, tile_shared: bool = False
+    ) -> SystemMetrics:
+        """Evaluate a homogeneous accelerator (the §4.1 baselines).
+
+        Baselines use the conventional tile-based allocation, hence
+        ``tile_shared=False`` by default.
+        """
+        strategy = tuple(shape for _ in network.layers)
+        return self.evaluate(network, strategy, tile_shared=tile_shared)

@@ -1,0 +1,125 @@
+"""Tests for the tile-based baseline allocator, incl. Fig. 4/5 pins."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.config import CrossbarShape
+from repro.arch.mapping import map_layer
+from repro.core.allocation import (
+    allocate_tile_based,
+    layer_empty_fraction,
+    layer_tiles_needed,
+)
+from repro.models import vgg16
+from repro.models.layers import LayerSpec
+
+
+class TestPaperPins:
+    def test_fig5_utilization_with_tiles(self):
+        """27/32 on 64x64 vs 27/128 on 128x128 (4-crossbar tiles)."""
+        layer = LayerSpec.conv(12, 128, 3, input_size=8)
+        m64 = map_layer(layer, CrossbarShape(64, 64))
+        m128 = map_layer(layer, CrossbarShape(128, 128))
+        assert allocate_tile_based([m64], 4).utilization == pytest.approx(27 / 32)
+        assert allocate_tile_based([m128], 4).utilization == pytest.approx(27 / 128)
+
+    def test_section_2_2_2_small_layer_wastage(self):
+        """A one-crossbar layer on a 4-slot tile wastes 75% (§2.2.2)."""
+        layer = LayerSpec.conv(3, 4, 3, input_size=8)
+        mapping = map_layer(layer, CrossbarShape(64, 64))
+        assert mapping.num_crossbars == 1
+        assert layer_empty_fraction(mapping, 4) == pytest.approx(0.75)
+
+    def test_section_2_2_2_five_crossbar_layer(self):
+        """A five-crossbar layer gets two tiles: 3/8 = 37.5% waste."""
+        # Cin=35, k=3 -> ceil(35/7)=5 row groups of one column group.
+        layer = LayerSpec.conv(35, 64, 3, input_size=8)
+        mapping = map_layer(layer, CrossbarShape(64, 64))
+        assert mapping.num_crossbars == 5
+        assert layer_tiles_needed(mapping, 4) == 2
+        assert layer_empty_fraction(mapping, 4) == pytest.approx(3 / 8)
+
+    def test_fig4_waste_grows_with_tile_size(self):
+        """Fig. 4: empty-crossbar share rises with crossbars per tile."""
+        net = vgg16()
+        for layer in net.layers[:4]:
+            mapping = map_layer(layer, CrossbarShape(64, 64))
+            fractions = [
+                layer_empty_fraction(mapping, ts) for ts in (4, 8, 16, 32)
+            ]
+            assert all(
+                a <= b + 1e-12 for a, b in zip(fractions, fractions[1:])
+            )
+
+    def test_fig4_average_magnitudes(self):
+        """Paper: ~24% average waste at 4 XBs/tile, rising toward ~60%."""
+        net = vgg16()
+        mappings = [
+            map_layer(l, CrossbarShape(64, 64)) for l in net.layers[:4]
+        ]
+        avg4 = sum(layer_empty_fraction(m, 4) for m in mappings) / 4
+        avg32 = sum(layer_empty_fraction(m, 32) for m in mappings) / 4
+        assert 0.1 < avg4 < 0.4
+        assert avg32 > avg4
+        assert avg32 > 0.45
+
+
+class TestAllocator:
+    def test_tiles_are_single_layer(self):
+        layers = [
+            LayerSpec.conv(16, 16, 3, input_size=8).with_index(0),
+            LayerSpec.conv(16, 16, 3, input_size=8).with_index(1),
+        ]
+        mappings = [map_layer(l, CrossbarShape(64, 64)) for l in layers]
+        alloc = allocate_tile_based(mappings, 4)
+        for tile in alloc.tiles:
+            assert len(tile.occupants) == 1
+
+    def test_tile_count_is_roundup(self):
+        layer = LayerSpec.conv(35, 64, 3, input_size=8).with_index(0)
+        mapping = map_layer(layer, CrossbarShape(64, 64))
+        alloc = allocate_tile_based([mapping], 4)
+        assert alloc.occupied_tiles == math.ceil(mapping.num_crossbars / 4)
+
+    def test_rejects_nonpositive_capacity(self):
+        layer = LayerSpec.fc(8, 8).with_index(0)
+        with pytest.raises(ValueError):
+            allocate_tile_based([map_layer(layer, CrossbarShape(32, 32))], 0)
+
+    def test_heterogeneous_strategies_get_separate_tiles(self):
+        layers = [
+            LayerSpec.conv(16, 16, 3, input_size=8).with_index(0),
+            LayerSpec.fc(64, 64).with_index(1),
+        ]
+        mappings = [
+            map_layer(layers[0], CrossbarShape(32, 32)),
+            map_layer(layers[1], CrossbarShape(64, 64)),
+        ]
+        alloc = allocate_tile_based(mappings, 4)
+        shapes = {t.shape for t in alloc.tiles}
+        assert shapes == {CrossbarShape(32, 32), CrossbarShape(64, 64)}
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1, 64), st.integers(1, 128), st.sampled_from([1, 3])
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(1, 16),
+    )
+    def test_all_blocks_placed_property(self, layer_dims, capacity):
+        layers = [
+            LayerSpec.conv(cin, cout, k, input_size=8).with_index(i)
+            for i, (cin, cout, k) in enumerate(layer_dims)
+        ]
+        mappings = [map_layer(l, CrossbarShape(64, 64)) for l in layers]
+        alloc = allocate_tile_based(mappings, capacity)
+        alloc.validate()  # includes full placement + capacity invariants
+        assert alloc.occupied_tiles == sum(
+            math.ceil(m.num_crossbars / capacity) for m in mappings
+        )

@@ -1,0 +1,188 @@
+"""Algorithm 1 (tile-shared remapping) — pinned examples and invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.config import CrossbarShape
+from repro.arch.mapping import map_layer
+from repro.core.allocation import (
+    allocate_tile_based,
+    apply_tile_sharing,
+    plan_tile_sharing,
+)
+from repro.core.allocation.tiles import Tile
+from repro.models import vgg16
+from repro.models.layers import LayerSpec
+
+
+def make_tiles(empties, capacity=4):
+    """Build one-layer-per-tile toy tiles with the given empty counts."""
+    tiles = []
+    for i, empty in enumerate(empties):
+        t = Tile(i, CrossbarShape(32, 32), capacity)
+        occupied = capacity - empty
+        if occupied:
+            t.add(i, occupied)
+        tiles.append(t)
+    return tiles
+
+
+class TestPlanPinnedCases:
+    def test_fig8_example(self):
+        """Three tiles with one layer each (3 empty slots apiece on
+        4-slot tiles) collapse onto a single tile (Fig. 8)."""
+        tiles = make_tiles([3, 3, 2])
+        plan = plan_tile_sharing(tiles, 4)
+        absorbed = {t for v in plan.values() for t in v}
+        assert len(absorbed) == 2  # two tiles released
+
+    def test_no_merge_when_all_full(self):
+        assert plan_tile_sharing(make_tiles([0, 0, 0]), 4) == {}
+
+    def test_no_merge_when_condition_never_met(self):
+        # 1 + 1 < 4 and 1 + 2 < 4: nothing combines.
+        assert plan_tile_sharing(make_tiles([1, 1, 2]), 4) == {}
+
+    def test_exact_fit_merges(self):
+        # head.empty + tail.empty == capacity triggers (the >= in line 8).
+        plan = plan_tile_sharing(make_tiles([1, 3]), 4)
+        assert sum(len(v) for v in plan.values()) == 1
+
+    def test_single_tile_noop(self):
+        assert plan_tile_sharing(make_tiles([2]), 4) == {}
+
+    def test_empty_list_noop(self):
+        assert plan_tile_sharing([], 4) == {}
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            plan_tile_sharing(make_tiles([1]), 0)
+
+    def test_fullest_tile_absorbs_emptiest(self):
+        tiles = make_tiles([1, 3])
+        plan = plan_tile_sharing(tiles, 4)
+        # Head (1 empty = fullest) absorbs tail (3 empty = emptiest).
+        assert plan == {0: [1]}
+
+    def test_chain_absorption_updates_head_budget(self):
+        # head empty=2 absorbs a 4-empty (all-free would not be in list,
+        # so use occupied=1 tiles): empties [2, 3, 3] cap 4:
+        # 2+3>=4 -> head empty becomes 1; 1+3 == 4 -> absorbs again.
+        plan = plan_tile_sharing(make_tiles([2, 3, 3]), 4)
+        assert sum(len(v) for v in plan.values()) == 2
+
+
+class TestApplyOnNetworks:
+    @pytest.mark.parametrize("shape", [CrossbarShape(64, 64), CrossbarShape(576, 512)])
+    def test_vgg16_properties(self, shape):
+        net = vgg16()
+        mappings = [map_layer(l, shape) for l in net.layers]
+        base = allocate_tile_based(mappings, 4)
+        shared = apply_tile_sharing(base)
+        shared.validate()
+        assert shared.occupied_tiles <= base.occupied_tiles
+        assert shared.utilization >= base.utilization
+        assert shared.weight_cells == base.weight_cells
+
+    def test_comb_map_tiles_are_released(self):
+        net = vgg16()
+        mappings = [map_layer(l, CrossbarShape(576, 512)) for l in net.layers]
+        base = allocate_tile_based(mappings, 4)
+        shared = apply_tile_sharing(base)
+        surviving = {t.tile_id for t in shared.tiles}
+        for head, tails in shared.comb_map.items():
+            assert head in surviving
+            for tail in tails:
+                assert tail not in surviving
+
+    def test_absorber_records_absorbed_ids(self):
+        net = vgg16()
+        mappings = [map_layer(l, CrossbarShape(576, 512)) for l in net.layers]
+        shared = apply_tile_sharing(allocate_tile_based(mappings, 4))
+        by_id = {t.tile_id: t for t in shared.tiles}
+        for head, tails in shared.comb_map.items():
+            assert set(by_id[head].absorbed) == set(tails)
+
+    def test_sharing_never_mixes_shapes(self):
+        net = vgg16()
+        strategy = [
+            CrossbarShape(576, 512) if i % 2 else CrossbarShape(288, 256)
+            for i in range(net.num_layers)
+        ]
+        mappings = [map_layer(l, s) for l, s in zip(net.layers, strategy)]
+        shared = apply_tile_sharing(allocate_tile_based(mappings, 4))
+        by_index = {m.layer.index: m for m in mappings}
+        for tile in shared.tiles:
+            for layer_index in tile.occupants:
+                assert by_index[layer_index].shape == tile.shape
+
+
+@st.composite
+def tile_groups(draw):
+    capacity = draw(st.integers(1, 8))
+    empties = draw(
+        st.lists(st.integers(0, capacity - 1), min_size=0, max_size=30)
+    )
+    return empties, capacity
+
+
+class TestAlgorithmProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(tile_groups())
+    def test_plan_preserves_total_occupancy(self, group):
+        """Merges move crossbars; they never create or destroy them."""
+        empties, capacity = group
+        tiles = make_tiles(empties, capacity)
+        total_before = sum(t.occupied for t in tiles)
+        plan = plan_tile_sharing(tiles, capacity)
+        absorbed = {t for v in plan.values() for t in v}
+        by_id = {t.tile_id: t for t in tiles}
+        # Simulate: absorbers gain exactly what the absorbed lose.
+        gained = sum(by_id[t].occupied for t in absorbed)
+        kept = sum(t.occupied for t in tiles if t.tile_id not in absorbed)
+        assert kept + gained == total_before
+
+    @settings(max_examples=100, deadline=None)
+    @given(tile_groups())
+    def test_no_absorber_overflows(self, group):
+        """Every absorber ends at or under capacity."""
+        empties, capacity = group
+        tiles = make_tiles(empties, capacity)
+        plan = plan_tile_sharing(tiles, capacity)
+        by_id = {t.tile_id: t for t in tiles}
+        for head, tails in plan.items():
+            load = by_id[head].occupied + sum(by_id[t].occupied for t in tails)
+            assert load <= capacity
+
+    @settings(max_examples=100, deadline=None)
+    @given(tile_groups())
+    def test_absorbed_tiles_are_distinct(self, group):
+        empties, capacity = group
+        plan = plan_tile_sharing(make_tiles(empties, capacity), capacity)
+        absorbed = [t for v in plan.values() for t in v]
+        assert len(absorbed) == len(set(absorbed))
+        assert not (set(absorbed) & set(plan))  # absorbers never absorbed
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 48), st.integers(1, 96)),
+            min_size=1,
+            max_size=10,
+        ),
+        st.integers(1, 8),
+    )
+    def test_apply_invariants_on_random_networks(self, dims, capacity):
+        layers = [
+            LayerSpec.conv(cin, cout, 3, input_size=8).with_index(i)
+            for i, (cin, cout) in enumerate(dims)
+        ]
+        mappings = [map_layer(l, CrossbarShape(64, 64)) for l in layers]
+        base = allocate_tile_based(mappings, capacity)
+        shared = apply_tile_sharing(base)
+        shared.validate()
+        assert shared.occupied_tiles <= base.occupied_tiles
+        assert shared.utilization >= base.utilization - 1e-12
+        # Released tile count equals the comb_map total.
+        released = sum(len(v) for v in shared.comb_map.values())
+        assert base.occupied_tiles - shared.occupied_tiles == released

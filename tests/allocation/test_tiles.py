@@ -1,0 +1,120 @@
+"""Tests for Tile and Allocation data structures."""
+
+import pytest
+
+from repro.arch.config import CrossbarShape
+from repro.arch.mapping import map_layer
+from repro.core.allocation import Allocation, Tile, allocate_tile_based
+from repro.models.layers import LayerSpec
+
+
+class TestTile:
+    def test_empty_and_occupied(self):
+        t = Tile(0, CrossbarShape(64, 64), 4)
+        assert t.empty == 4 and t.occupied == 0
+        t.add(3, 2)
+        assert t.empty == 2 and t.occupied == 2
+
+    def test_add_accumulates_per_layer(self):
+        t = Tile(0, CrossbarShape(64, 64), 4)
+        t.add(1, 1)
+        t.add(1, 2)
+        assert t.occupants == {1: 3}
+
+    def test_add_rejects_over_capacity(self):
+        t = Tile(0, CrossbarShape(64, 64), 4)
+        t.add(0, 4)
+        with pytest.raises(ValueError, match="absorb"):
+            t.add(1, 1)
+
+    def test_add_rejects_nonpositive(self):
+        t = Tile(0, CrossbarShape(64, 64), 4)
+        with pytest.raises(ValueError):
+            t.add(0, 0)
+
+    def test_constructor_rejects_overfull(self):
+        with pytest.raises(ValueError, match="over capacity"):
+            Tile(0, CrossbarShape(64, 64), 2, occupants={0: 3})
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Tile(0, CrossbarShape(64, 64), 0)
+
+    def test_layers_sorted(self):
+        t = Tile(0, CrossbarShape(64, 64), 4)
+        t.add(5, 1)
+        t.add(2, 1)
+        assert t.layers == (2, 5)
+
+    def test_clone_is_independent(self):
+        t = Tile(0, CrossbarShape(64, 64), 4, occupants={1: 2})
+        c = t.clone()
+        c.add(3, 1)
+        assert t.occupied == 2 and c.occupied == 3
+
+
+def small_allocation():
+    layers = [
+        LayerSpec.conv(3, 4, 3, input_size=8).with_index(0),
+        LayerSpec.conv(4, 40, 3, input_size=8).with_index(1),
+        LayerSpec.fc(160, 10).with_index(2),
+    ]
+    mappings = [map_layer(l, CrossbarShape(32, 32)) for l in layers]
+    return allocate_tile_based(mappings, 4)
+
+
+class TestAllocation:
+    def test_weight_cells_sums_layers(self):
+        alloc = small_allocation()
+        assert alloc.weight_cells == sum(m.weight_cells for m in alloc.mappings)
+
+    def test_utilization_in_unit_interval(self):
+        alloc = small_allocation()
+        assert 0.0 < alloc.utilization <= 1.0
+
+    def test_allocated_cells_counts_whole_tiles(self):
+        alloc = small_allocation()
+        assert alloc.allocated_cells == alloc.occupied_tiles * 4 * 32 * 32
+
+    def test_empty_plus_occupied_is_total(self):
+        alloc = small_allocation()
+        occupied = sum(t.occupied for t in alloc.tiles)
+        assert occupied + alloc.empty_crossbars == alloc.total_crossbar_slots
+
+    def test_tiles_of_layer(self):
+        alloc = small_allocation()
+        for m in alloc.mappings:
+            tiles = alloc.tiles_of_layer(m.layer.index)
+            placed = sum(t.occupants[m.layer.index] for t in tiles)
+            assert placed == m.num_crossbars
+
+    def test_tiles_by_shape_groups(self):
+        alloc = small_allocation()
+        groups = alloc.tiles_by_shape()
+        assert set(groups) == {CrossbarShape(32, 32)}
+        assert sum(len(v) for v in groups.values()) == alloc.occupied_tiles
+
+    def test_validate_passes_on_consistent_allocation(self):
+        small_allocation().validate()
+
+    def test_validate_detects_missing_blocks(self):
+        alloc = small_allocation()
+        broken = Allocation(
+            mappings=alloc.mappings,
+            tiles=alloc.tiles[:-1],
+            tile_capacity=alloc.tile_capacity,
+        )
+        with pytest.raises(AssertionError):
+            broken.validate()
+
+    def test_validate_detects_shape_mismatch(self):
+        alloc = small_allocation()
+        rogue = Tile(99, CrossbarShape(64, 64), 4)
+        rogue.add(0, 1)
+        broken = Allocation(
+            mappings=alloc.mappings,
+            tiles=alloc.tiles + (rogue,),
+            tile_capacity=4,
+        )
+        with pytest.raises(AssertionError):
+            broken.validate()

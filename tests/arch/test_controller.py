@@ -1,0 +1,87 @@
+"""Tests for the Global Controller instruction generator."""
+
+import pytest
+
+from repro.arch.config import CrossbarShape
+from repro.arch.controller import GlobalController, Instruction, Opcode
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def gc(lenet_net):
+    sim = Simulator()
+    strategy = tuple(CrossbarShape(72, 64) for _ in lenet_net.layers)
+    mappings = sim.map_network(lenet_net, strategy)
+    allocation = sim.allocate(mappings, tile_shared=True)
+    return GlobalController(allocation, lenet_net), allocation
+
+
+class TestMappingProgram:
+    def test_one_load_per_block(self, gc):
+        controller, allocation = gc
+        loads = [
+            i for i in controller.mapping_program()
+            if i.opcode is Opcode.LOAD_WEIGHTS
+        ]
+        expected = sum(m.num_crossbars for m in allocation.mappings)
+        assert len(loads) == expected
+
+    def test_load_payload_is_crossbar_bytes(self, gc):
+        controller, allocation = gc
+        load = controller.mapping_program()[0]
+        shape = allocation.mappings[0].shape
+        assert load.size == shape.cells  # 8-bit weights -> 1 byte per cell
+
+    def test_moves_match_comb_map(self, gc):
+        controller, allocation = gc
+        moves = [
+            i for i in controller.mapping_program() if i.opcode is Opcode.MOVE
+        ]
+        expected = sum(len(v) for v in allocation.comb_map.values())
+        assert len(moves) == expected
+
+
+class TestInferenceProgram:
+    def test_mvm_count_is_blocks_times_positions(self, gc):
+        controller, allocation = gc
+        program = controller.inference_program()
+        mvms = sum(1 for i in program if i.opcode is Opcode.MVM)
+        expected = sum(
+            m.layer.mvm_ops * m.num_crossbars for m in allocation.mappings
+        )
+        assert mvms == expected
+
+    def test_fetch_count_is_total_mvm_ops(self, gc):
+        controller, allocation = gc
+        program = controller.inference_program()
+        fetches = sum(1 for i in program if i.opcode is Opcode.FETCH_INPUT)
+        assert fetches == sum(m.layer.mvm_ops for m in allocation.mappings)
+
+    def test_stores_match_fetches(self, gc):
+        controller, _ = gc
+        hist = GlobalController.histogram(controller.inference_program())
+        assert hist[Opcode.STORE_OUTPUT] == hist[Opcode.FETCH_INPUT]
+
+    def test_merge_only_for_multi_row_group_layers(self, gc):
+        controller, allocation = gc
+        program = controller.inference_program()
+        merges = sum(1 for i in program if i.opcode is Opcode.MERGE)
+        expected = sum(
+            m.layer.mvm_ops for m in allocation.mappings if m.row_groups > 1
+        )
+        assert merges == expected
+
+    def test_pool_instructions_for_pooled_layers(self, gc, lenet_net):
+        controller, _ = gc
+        program = controller.inference_program()
+        pools = [i for i in program if i.opcode is Opcode.POOL]
+        pooled_layers = sum(
+            1 for i in range(lenet_net.num_layers)
+            if lenet_net.pool_after(i) is not None
+        )
+        assert len(pools) == pooled_layers
+
+    def test_instruction_str_readable(self):
+        ins = Instruction(Opcode.MVM, layer_index=0, tile_id=3, pe_id=1)
+        text = str(ins)
+        assert "mvm" in text and "L1" in text and "tile3" in text

@@ -1,0 +1,105 @@
+"""Tests for the physical crossbar array."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.config import CrossbarShape
+from repro.arch.crossbar import Crossbar
+
+
+@pytest.fixture
+def xbar():
+    return Crossbar(CrossbarShape(16, 8))
+
+
+class TestProgramming:
+    def test_program_column_segment(self, xbar):
+        xbar.program(2, 3, np.array([1, 0, 1]))
+        assert xbar.used_cells == 3
+        assert xbar.cells[2, 3] == 1
+        assert xbar.cells[3, 3] == 0
+        assert xbar.cells[4, 3] == 1
+
+    def test_used_rows_and_cols(self, xbar):
+        xbar.program(0, 0, np.array([1, 1]))
+        xbar.program(0, 5, np.array([0, 1, 0]))
+        assert xbar.used_rows == 3
+        assert xbar.used_cols == 2
+
+    def test_rejects_double_programming(self, xbar):
+        xbar.program(0, 0, np.array([1]))
+        with pytest.raises(ValueError, match="already programmed"):
+            xbar.program(0, 0, np.array([0]))
+
+    def test_rejects_out_of_bounds(self, xbar):
+        with pytest.raises(IndexError):
+            xbar.program(15, 0, np.array([1, 1]))
+        with pytest.raises(IndexError):
+            xbar.program(0, 8, np.array([1]))
+        with pytest.raises(IndexError):
+            xbar.program(-1, 0, np.array([1]))
+
+    def test_rejects_non_binary(self, xbar):
+        with pytest.raises(ValueError, match="single bits"):
+            xbar.program(0, 0, np.array([2]))
+
+    def test_rejects_matrix_input(self, xbar):
+        with pytest.raises(ValueError, match="1-D"):
+            xbar.program(0, 0, np.ones((2, 2)))
+
+    def test_program_block(self, xbar):
+        block = np.array([[1, 0], [0, 1], [1, 1]])
+        xbar.program_block(1, 2, block)
+        assert np.array_equal(xbar.cells[1:4, 2:4], block)
+
+    def test_erase(self, xbar):
+        xbar.program(0, 0, np.array([1, 1]))
+        xbar.erase()
+        assert xbar.used_cells == 0
+        xbar.program(0, 0, np.array([1]))  # reprogrammable after erase
+
+    def test_cells_view_is_readonly(self, xbar):
+        with pytest.raises(ValueError):
+            xbar.cells[0, 0] = 1
+        with pytest.raises(ValueError):
+            xbar.used_mask[0, 0] = True
+
+    def test_utilization(self, xbar):
+        xbar.program(0, 0, np.array([1] * 16))
+        assert xbar.utilization == pytest.approx(16 / 128)
+
+
+class TestMVM:
+    def test_exact_dot_product(self, xbar):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=(16, 8))
+        for c in range(8):
+            xbar.program(0, c, bits[:, c])
+        v = rng.integers(0, 2, size=16)
+        assert np.array_equal(xbar.mvm(v), v @ bits)
+
+    def test_short_vector_zero_padded(self, xbar):
+        xbar.program(0, 0, np.array([1, 1, 1]))
+        out = xbar.mvm(np.array([1, 1]))
+        assert out[0] == 2
+
+    def test_rejects_oversized_vector(self, xbar):
+        with pytest.raises(ValueError):
+            xbar.mvm(np.ones(17, dtype=int))
+
+    def test_evaluation_counter(self, xbar):
+        xbar.mvm(np.zeros(16, dtype=int))
+        xbar.mvm(np.zeros(16, dtype=int))
+        assert xbar.evaluations == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_mvm_matches_matmul_property(self, seed):
+        rng = np.random.default_rng(seed)
+        r, c = int(rng.integers(1, 40)), int(rng.integers(1, 40))
+        xb = Crossbar(CrossbarShape(r, c))
+        bits = rng.integers(0, 2, size=(r, c))
+        xb.program_block(0, 0, bits)
+        v = rng.integers(0, 2, size=r)
+        assert np.array_equal(xb.mvm(v), v @ bits)

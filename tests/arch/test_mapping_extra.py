@@ -1,0 +1,91 @@
+"""Additional mapping-detail tests: per-crossbar maxima, FC edge cases,
+and the interplay between candidate geometry and kernel sizes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.config import (
+    CrossbarShape,
+    DEFAULT_CANDIDATES,
+    RECTANGLE_CANDIDATES,
+)
+from repro.arch.mapping import map_layer
+from repro.models.layers import LayerSpec
+
+
+class TestPerCrossbarColumns:
+    def test_small_layer_uses_fewer_than_width(self):
+        layer = LayerSpec.conv(3, 20, 1, input_size=8)
+        m = map_layer(layer, CrossbarShape(32, 32))
+        assert m.used_columns_per_crossbar_max == 20
+
+    def test_wide_layer_saturates_width(self):
+        layer = LayerSpec.conv(3, 100, 1, input_size=8)
+        m = map_layer(layer, CrossbarShape(32, 32))
+        assert m.used_columns_per_crossbar_max == 32
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 64), st.integers(1, 600), st.sampled_from([1, 3]))
+    def test_bounded_by_width_and_cout(self, cin, cout, k):
+        for shape in DEFAULT_CANDIDATES:
+            m = map_layer(LayerSpec.conv(cin, cout, k), shape)
+            assert m.used_columns_per_crossbar_max <= shape.cols
+            assert m.used_columns_per_crossbar_max <= cout
+
+
+class TestRectangleAdvantage:
+    @pytest.mark.parametrize("rect", RECTANGLE_CANDIDATES)
+    def test_rectangles_never_lose_to_matched_squares_on_3x3(self, rect):
+        """For 3x3-kernel layers, every RXB at least matches the SXB of
+        the same width on intra-array utilization whenever the square's
+        slice count divides evenly worse."""
+        square = CrossbarShape(rect.cols, rect.cols)
+        layer = LayerSpec.conv(64, rect.cols, 3, input_size=8)
+        u_rect = map_layer(layer, rect).utilization
+        u_square = map_layer(layer, square).utilization
+        assert u_rect >= u_square - 1e-12
+
+    def test_rectangles_can_lose_on_1x1(self):
+        """The flip side: for k=1 the extra rows are pure overhead when
+        channel counts align with the square's power-of-two height."""
+        layer = LayerSpec.conv(256, 256, 1, input_size=8)
+        u_square = map_layer(layer, CrossbarShape(256, 256)).utilization
+        u_rect = map_layer(layer, CrossbarShape(288, 256)).utilization
+        assert u_square > u_rect
+
+    def test_fc_prefers_power_of_two(self):
+        """§3.3: square power-of-two crossbars suit FC layers like F4096."""
+        layer = LayerSpec.fc(512, 4096)
+        u_square = map_layer(layer, CrossbarShape(512, 512)).utilization
+        u_rect = map_layer(layer, CrossbarShape(576, 512)).utilization
+        assert u_square == pytest.approx(1.0)
+        assert u_square > u_rect
+
+
+class TestFCEdgeCases:
+    def test_single_neuron_fc(self):
+        m = map_layer(LayerSpec.fc(1, 1), CrossbarShape(32, 32))
+        assert m.num_crossbars == 1
+        assert m.utilization == pytest.approx(1 / 1024)
+
+    def test_fc_wider_than_any_crossbar(self):
+        m = map_layer(LayerSpec.fc(10, 5000), CrossbarShape(512, 512))
+        assert m.col_groups == 10
+        assert m.used_columns_total == 5000
+
+    def test_fc_taller_than_any_crossbar(self):
+        m = map_layer(LayerSpec.fc(5000, 10), CrossbarShape(512, 512))
+        assert m.row_groups == 10
+        assert not m.kernel_split  # k=1 slices always fit
+
+
+class TestDescribe:
+    def test_kernel_split_flagged_in_text(self):
+        layer = LayerSpec.conv(3, 10, 7, input_size=28)
+        m = map_layer(layer, CrossbarShape(32, 32))
+        assert "[kernel-split]" in m.describe()
+
+    def test_normal_mapping_not_flagged(self):
+        layer = LayerSpec.conv(3, 10, 3, input_size=28)
+        m = map_layer(layer, CrossbarShape(32, 32))
+        assert "[kernel-split]" not in m.describe()

@@ -1,0 +1,150 @@
+"""Tests for ProcessingElement and HardwareTile."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.config import CrossbarShape, HardwareConfig
+from repro.arch.pe import ProcessingElement
+from repro.arch.tile import BlockAssignment, HardwareTile
+from repro.sim.quantization import offset_encode
+
+CFG = HardwareConfig()  # 8-bit weights/inputs, 1-bit cells/DACs, 10-bit ADC
+
+
+class TestProcessingElement:
+    def test_bit_slice_group_size(self):
+        pe = ProcessingElement(CrossbarShape(32, 32), CFG)
+        assert len(pe.crossbars) == 8
+
+    def test_programmed_flag(self):
+        pe = ProcessingElement(CrossbarShape(16, 16), CFG)
+        assert not pe.programmed
+        pe.program_block(0, 0, np.array([[255]]))
+        assert pe.programmed
+
+    def test_bit_slicing_across_crossbars(self):
+        pe = ProcessingElement(CrossbarShape(8, 8), CFG)
+        pe.program_block(0, 0, np.array([[0b10110101]]))
+        bits = [int(xb.cells[0, 0]) for xb in pe.crossbars]  # LSB first
+        assert bits == [1, 0, 1, 0, 1, 1, 0, 1]
+
+    def test_rejects_out_of_range_weights(self):
+        pe = ProcessingElement(CrossbarShape(8, 8), CFG)
+        with pytest.raises(ValueError):
+            pe.program_block(0, 0, np.array([[256]]))
+        with pytest.raises(ValueError):
+            pe.program_block(0, 0, np.array([[-1]]))
+
+    def test_mvm_exact_against_encoded_weights(self):
+        rng = np.random.default_rng(3)
+        pe = ProcessingElement(CrossbarShape(24, 12), CFG)
+        encoded = rng.integers(0, 256, size=(24, 12))
+        pe.program_block(0, 0, encoded)
+        x = rng.integers(0, 256, size=24)
+        assert np.array_equal(pe.mvm(x), x @ encoded)
+
+    def test_mvm_rejects_bad_inputs(self):
+        pe = ProcessingElement(CrossbarShape(8, 8), CFG)
+        with pytest.raises(ValueError):
+            pe.mvm(np.full(9, 1))           # too long
+        with pytest.raises(ValueError):
+            pe.mvm(np.array([256] + [0] * 7))  # out of input range
+        with pytest.raises(ValueError):
+            pe.mvm(np.array([-1] + [0] * 7))
+
+    def test_short_input_padded(self):
+        pe = ProcessingElement(CrossbarShape(8, 4), CFG)
+        pe.program_block(0, 0, np.full((8, 4), 1))
+        out = pe.mvm(np.array([10, 20]))
+        assert np.array_equal(out, np.full(4, 30))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_mvm_property(self, seed):
+        rng = np.random.default_rng(seed)
+        r = int(rng.integers(1, 40))
+        c = int(rng.integers(1, 20))
+        pe = ProcessingElement(CrossbarShape(r, c), CFG)
+        encoded = rng.integers(0, 256, size=(r, c))
+        pe.program_block(0, 0, encoded)
+        x = rng.integers(0, 256, size=r)
+        assert np.array_equal(pe.mvm(x), x @ encoded)
+
+
+class TestHardwareTile:
+    def make_tile(self):
+        return HardwareTile(0, CrossbarShape(16, 8), CFG)
+
+    def test_capacity_follows_config(self):
+        assert self.make_tile().capacity == CFG.pes_per_tile
+
+    def test_assign_and_query(self):
+        tile = self.make_tile()
+        block = np.zeros((4, 3), dtype=int)
+        tile.assign_block(1, BlockAssignment(5, 0, 0, 4, 3), block)
+        assert tile.occupied == 1
+        assert tile.layers == (5,)
+        assert 1 not in tile.free_slots
+
+    def test_rejects_double_assignment(self):
+        tile = self.make_tile()
+        a = BlockAssignment(0, 0, 0, 1, 1)
+        tile.assign_block(0, a, np.zeros((1, 1), dtype=int))
+        with pytest.raises(ValueError, match="already assigned"):
+            tile.assign_block(0, a, np.zeros((1, 1), dtype=int))
+
+    def test_rejects_shape_mismatch(self):
+        tile = self.make_tile()
+        with pytest.raises(ValueError, match="block shape"):
+            tile.assign_block(
+                0, BlockAssignment(0, 0, 0, 2, 2), np.zeros((3, 3), dtype=int)
+            )
+
+    def test_rejects_bad_pe_id(self):
+        tile = self.make_tile()
+        with pytest.raises(IndexError):
+            tile.assign_block(
+                99, BlockAssignment(0, 0, 0, 1, 1), np.zeros((1, 1), dtype=int)
+            )
+
+    def test_release_frees_slot(self):
+        tile = self.make_tile()
+        tile.assign_block(
+            2, BlockAssignment(0, 0, 0, 1, 1), np.zeros((1, 1), dtype=int)
+        )
+        tile.release(2)
+        assert tile.occupied == 0
+        assert 2 in tile.free_slots
+
+    def test_mvm_block_exact(self):
+        rng = np.random.default_rng(9)
+        tile = self.make_tile()
+        wq = rng.integers(-128, 128, size=(10, 5))
+        encoded = offset_encode(wq, 8)
+        tile.assign_block(0, BlockAssignment(7, 0, 0, 10, 5), encoded)
+        x = rng.integers(0, 256, size=10)
+        out = tile.mvm_block(0, x)
+        assert np.array_equal(out, x @ encoded)
+
+    def test_mvm_block_rejects_empty_pe(self):
+        with pytest.raises(ValueError, match="empty"):
+            self.make_tile().mvm_block(0, np.zeros(4, dtype=int))
+
+    def test_mvm_block_rejects_wrong_width(self):
+        tile = self.make_tile()
+        tile.assign_block(
+            0, BlockAssignment(0, 0, 0, 4, 2), np.zeros((4, 2), dtype=int)
+        )
+        with pytest.raises(ValueError):
+            tile.mvm_block(0, np.zeros(5, dtype=int))
+
+    def test_multiple_layers_share_tile(self):
+        tile = self.make_tile()
+        tile.assign_block(
+            0, BlockAssignment(1, 0, 0, 1, 1), np.zeros((1, 1), dtype=int)
+        )
+        tile.assign_block(
+            1, BlockAssignment(2, 0, 0, 1, 1), np.zeros((1, 1), dtype=int)
+        )
+        assert tile.layers == (1, 2)

@@ -1,0 +1,130 @@
+"""Tests for ADC/DAC/shift-add/adder-tree/pooling peripheral models."""
+
+import numpy as np
+import pytest
+
+from repro.arch.peripherals import (
+    ADCArray,
+    AdderTree,
+    DACArray,
+    PoolingModule,
+    ShiftAdder,
+)
+
+
+class TestADC:
+    def test_lossless_within_range(self):
+        adc = ADCArray(lanes=8, bits=10)
+        out = adc.sample(np.array([0, 1, 576, 1023]))
+        assert np.array_equal(out, [0, 1, 576, 1023])
+        assert adc.saturations == 0
+
+    def test_saturates_above_range(self):
+        adc = ADCArray(lanes=8, bits=4)
+        out = adc.sample(np.array([14, 15, 16, 100]))
+        assert np.array_equal(out, [14, 15, 15, 15])
+        assert adc.saturations == 2
+
+    def test_clips_negative(self):
+        adc = ADCArray(lanes=4, bits=4)
+        assert adc.sample(np.array([-3]))[0] == 0
+        assert adc.saturations == 1
+
+    def test_conversion_counter(self):
+        adc = ADCArray(lanes=8, bits=10)
+        adc.sample(np.arange(5))
+        adc.sample(np.arange(3))
+        assert adc.conversions == 8
+
+    def test_rejects_too_many_lanes(self):
+        with pytest.raises(ValueError):
+            ADCArray(lanes=2, bits=10).sample(np.arange(3))
+
+    def test_max_code(self):
+        assert ADCArray(lanes=1, bits=10).max_code == 1023
+
+
+class TestDAC:
+    def test_binary_passthrough(self):
+        dac = DACArray(lanes=4, bits=1)
+        out = dac.drive(np.array([1, 0, 1, 1]))
+        assert np.array_equal(out, [1.0, 0.0, 1.0, 1.0])
+
+    def test_rejects_non_binary_for_1bit(self):
+        with pytest.raises(ValueError):
+            DACArray(lanes=4, bits=1).drive(np.array([2, 0]))
+
+    def test_rejects_too_many_lanes(self):
+        with pytest.raises(ValueError):
+            DACArray(lanes=2).drive(np.array([1, 0, 1]))
+
+
+class TestShiftAdder:
+    def test_reconstructs_weighted_sum(self):
+        sa = ShiftAdder()
+        sa.reset(3)
+        sa.accumulate(np.array([1, 2, 3]), shift=0)
+        sa.accumulate(np.array([1, 0, 1]), shift=2)
+        assert np.array_equal(sa.value, [5, 2, 7])
+
+    def test_requires_reset(self):
+        with pytest.raises(RuntimeError):
+            ShiftAdder().accumulate(np.array([1]), 0)
+        with pytest.raises(RuntimeError):
+            _ = ShiftAdder().value
+
+    def test_operation_counter(self):
+        sa = ShiftAdder()
+        sa.reset(4)
+        sa.accumulate(np.zeros(4, dtype=int), 0)
+        assert sa.operations == 4
+
+    def test_value_is_a_copy(self):
+        sa = ShiftAdder()
+        sa.reset(2)
+        sa.accumulate(np.array([1, 1]), 0)
+        v = sa.value
+        v[0] = 99
+        assert sa.value[0] == 1
+
+
+class TestAdderTree:
+    def test_reduces_along_axis0(self):
+        tree = AdderTree()
+        out = tree.reduce(np.array([[1, 2], [3, 4], [5, 6]]))
+        assert np.array_equal(out, [9, 12])
+
+    def test_addition_count(self):
+        tree = AdderTree()
+        tree.reduce(np.ones((4, 10), dtype=int))
+        assert tree.additions == 3 * 10
+
+    def test_single_row_passthrough(self):
+        tree = AdderTree()
+        out = tree.reduce(np.array([7, 8]))
+        assert np.array_equal(out, [7, 8])
+        assert tree.additions == 0
+
+
+class TestPooling:
+    def test_max_pool(self):
+        pm = PoolingModule()
+        fmap = np.arange(16, dtype=float).reshape(1, 4, 4)
+        out = pm.pool(fmap, "max", 2, 2)
+        assert out.shape == (1, 2, 2)
+        assert np.array_equal(out[0], [[5, 7], [13, 15]])
+
+    def test_avg_pool(self):
+        pm = PoolingModule()
+        fmap = np.ones((2, 4, 4))
+        out = pm.pool(fmap, "avg", 2, 2)
+        assert np.allclose(out, 1.0)
+
+    def test_operation_counter(self):
+        pm = PoolingModule()
+        pm.pool(np.ones((3, 4, 4)), "max", 2, 2)
+        assert pm.operations == 3 * 2 * 2
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            PoolingModule().pool(np.ones((1, 2, 2)), "median", 2, 2)

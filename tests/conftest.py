@@ -1,0 +1,60 @@
+"""Shared fixtures for the AutoHet reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.config import CrossbarShape, HardwareConfig
+from repro.models import alexnet, lenet, resnet152, tiny_cnn, vgg16
+from repro.sim import Simulator
+
+
+@pytest.fixture(scope="session")
+def lenet_net():
+    return lenet()
+
+
+@pytest.fixture(scope="session")
+def tiny_net():
+    return tiny_cnn()
+
+
+@pytest.fixture(scope="session")
+def vgg_net():
+    return vgg16()
+
+
+@pytest.fixture(scope="session")
+def alexnet_net():
+    return alexnet()
+
+
+@pytest.fixture(scope="session")
+def resnet_net():
+    return resnet152()
+
+
+@pytest.fixture(scope="session")
+def simulator():
+    return Simulator()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    """A light config for functional tests (fewer bit cycles)."""
+    return HardwareConfig(weight_bits=4, input_bits=4, adc_bits=10)
+
+
+SHAPES = {
+    "sq32": CrossbarShape(32, 32),
+    "sq64": CrossbarShape(64, 64),
+    "sq512": CrossbarShape(512, 512),
+    "rect36": CrossbarShape(36, 32),
+    "rect576": CrossbarShape(576, 512),
+}

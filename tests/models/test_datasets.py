@@ -1,0 +1,80 @@
+"""Tests for dataset specs and synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.models import CIFAR10, IMAGENET, MNIST, DatasetSpec, get_dataset
+
+
+class TestSpecs:
+    def test_paper_shapes(self):
+        assert MNIST.input_shape == (1, 28, 28)
+        assert CIFAR10.input_shape == (3, 32, 32)
+        assert IMAGENET.input_shape == (3, 224, 224)
+
+    def test_num_classes(self):
+        assert MNIST.num_classes == 10
+        assert CIFAR10.num_classes == 10
+        assert IMAGENET.num_classes == 1000
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            DatasetSpec("bad", 0, 3, 10)
+        with pytest.raises(ValueError):
+            DatasetSpec("bad", 28, 3, 0)
+
+
+class TestSyntheticData:
+    def test_batch_shape(self):
+        batch = CIFAR10.synthetic_batch(5)
+        assert batch.shape == (5, 3, 32, 32)
+
+    def test_values_in_unit_range(self):
+        batch = MNIST.synthetic_batch(3, seed=1)
+        assert batch.min() >= 0.0 and batch.max() <= 1.0
+
+    def test_deterministic_by_seed(self):
+        a = CIFAR10.synthetic_batch(2, seed=7)
+        b = CIFAR10.synthetic_batch(2, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = CIFAR10.synthetic_batch(2, seed=7)
+        b = CIFAR10.synthetic_batch(2, seed=8)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ValueError):
+            CIFAR10.synthetic_batch(0)
+
+    def test_labels_in_range(self):
+        labels = IMAGENET.synthetic_labels(100, seed=3)
+        assert labels.shape == (100,)
+        assert labels.min() >= 0 and labels.max() < 1000
+
+    def test_images_have_structure(self):
+        # Not pure noise: spatial autocorrelation should be positive.
+        img = CIFAR10.synthetic_batch(1, seed=0)[0, 0]
+        shifted = np.roll(img, 1, axis=0)
+        corr = np.corrcoef(img.ravel(), shifted.ravel())[0, 1]
+        assert corr > 0.05
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("mnist", "MNIST"),
+            ("MNIST", "MNIST"),
+            ("cifar10", "CIFAR-10"),
+            ("cifar-10", "CIFAR-10"),
+            ("CIFAR_10", "CIFAR-10"),
+            ("imagenet", "ImageNet"),
+        ],
+    )
+    def test_lookup(self, name, expected):
+        assert get_dataset(name).name == expected
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_dataset("svhn")

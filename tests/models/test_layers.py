@@ -1,0 +1,184 @@
+"""Unit tests for LayerSpec / PoolSpec / Stage."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.layers import LayerSpec, LayerType, PoolSpec, Stage
+
+
+class TestLayerSpecConstruction:
+    def test_conv_builder(self):
+        layer = LayerSpec.conv(3, 64, 3, stride=2, padding=1, input_size=32)
+        assert layer.layer_type is LayerType.CONV
+        assert layer.in_channels == 3
+        assert layer.out_channels == 64
+        assert layer.kernel_size == 3
+        assert layer.stride == 2
+        assert layer.padding == 1
+        assert layer.input_size == 32
+
+    def test_fc_builder_forces_unit_kernel_and_stride(self):
+        layer = LayerSpec.fc(512, 10)
+        assert layer.layer_type is LayerType.FC
+        assert layer.kernel_size == 1
+        assert layer.stride == 1
+        assert layer.input_size == 1
+
+    def test_rejects_nonpositive_channels(self):
+        with pytest.raises(ValueError):
+            LayerSpec.conv(0, 64, 3)
+        with pytest.raises(ValueError):
+            LayerSpec.conv(3, 0, 3)
+        with pytest.raises(ValueError):
+            LayerSpec.fc(-1, 10)
+
+    def test_rejects_nonpositive_kernel(self):
+        with pytest.raises(ValueError):
+            LayerSpec.conv(3, 4, 0)
+
+    def test_rejects_nonpositive_stride(self):
+        with pytest.raises(ValueError):
+            LayerSpec.conv(3, 4, 3, stride=0)
+
+    def test_rejects_negative_padding(self):
+        with pytest.raises(ValueError):
+            LayerSpec.conv(3, 4, 3, padding=-1)
+
+    def test_rejects_nonpositive_input_size(self):
+        with pytest.raises(ValueError):
+            LayerSpec.conv(3, 4, 3, input_size=0)
+
+    def test_fc_rejects_nonunit_kernel(self):
+        with pytest.raises(ValueError):
+            LayerSpec(LayerType.FC, 10, 10, kernel_size=3)
+
+    def test_frozen(self):
+        layer = LayerSpec.fc(10, 10)
+        with pytest.raises(AttributeError):
+            layer.in_channels = 5  # type: ignore[misc]
+
+
+class TestDerivedQuantities:
+    def test_kernel_elems(self):
+        assert LayerSpec.conv(3, 4, 3).kernel_elems == 9
+        assert LayerSpec.conv(3, 4, 7).kernel_elems == 49
+        assert LayerSpec.fc(10, 10).kernel_elems == 1
+
+    def test_weight_count_conv(self):
+        layer = LayerSpec.conv(12, 128, 3)
+        assert layer.weight_count == 12 * 128 * 9
+
+    def test_weight_count_fc(self):
+        assert LayerSpec.fc(512, 4096).weight_count == 512 * 4096
+
+    def test_weight_matrix_shape_follows_fig7(self):
+        layer = LayerSpec.conv(12, 128, 3)
+        assert layer.weight_matrix_shape == (12 * 9, 128)
+
+    def test_weight_matrix_shape_fc(self):
+        assert LayerSpec.fc(512, 4096).weight_matrix_shape == (512, 4096)
+
+    def test_output_size_same_padding(self):
+        layer = LayerSpec.conv(3, 4, 3, padding=1, input_size=32)
+        assert layer.output_size == 32
+
+    def test_output_size_valid_padding(self):
+        layer = LayerSpec.conv(3, 4, 5, input_size=28)
+        assert layer.output_size == 24
+
+    def test_output_size_strided(self):
+        layer = LayerSpec.conv(3, 64, 7, stride=2, padding=3, input_size=224)
+        assert layer.output_size == 112
+
+    def test_output_size_fc_is_one(self):
+        assert LayerSpec.fc(10, 10).output_size == 1
+
+    def test_mvm_ops_conv(self):
+        layer = LayerSpec.conv(3, 4, 3, padding=1, input_size=32)
+        assert layer.mvm_ops == 32 * 32
+
+    def test_mvm_ops_fc(self):
+        assert LayerSpec.fc(4096, 1000).mvm_ops == 1
+
+    def test_macs(self):
+        layer = LayerSpec.conv(3, 4, 3, padding=1, input_size=8)
+        assert layer.macs == 64 * 3 * 4 * 9
+
+    @given(
+        st.integers(1, 64),
+        st.integers(1, 64),
+        st.integers(1, 7),
+        st.integers(1, 3),
+        st.integers(0, 3),
+        st.integers(8, 64),
+    )
+    def test_output_size_never_below_one(self, cin, cout, k, s, p, ins):
+        layer = LayerSpec.conv(cin, cout, k, stride=s, padding=p, input_size=ins)
+        assert layer.output_size >= 1
+        assert layer.mvm_ops >= 1
+
+
+class TestStateFeatures:
+    def test_static_features_match_table1(self):
+        layer = LayerSpec.conv(12, 128, 3, stride=2, input_size=16).with_index(4)
+        k, t, inc, outc, ks, s, w, ins = layer.state_features()
+        assert (k, t) == (4, 1)
+        assert (inc, outc) == (12, 128)
+        assert ks == 9
+        assert s == 2
+        assert w == 12 * 128 * 9
+        assert ins == 16
+
+    def test_fc_state_code_is_zero(self):
+        assert LayerSpec.fc(10, 10).state_features()[1] == 0
+
+    def test_with_index_preserves_other_fields(self):
+        layer = LayerSpec.conv(3, 4, 3, input_size=8)
+        indexed = layer.with_index(7)
+        assert indexed.index == 7
+        assert indexed.in_channels == layer.in_channels
+
+    def test_with_input_size_noop_for_fc(self):
+        layer = LayerSpec.fc(10, 10)
+        assert layer.with_input_size(99).input_size == 1
+
+    def test_describe_mentions_key_dims(self):
+        text = LayerSpec.conv(3, 64, 3, input_size=32).describe()
+        assert "C3-64" in text
+        assert LayerSpec.fc(512, 10).describe().startswith("F10")
+
+
+class TestPoolSpec:
+    def test_output_size_halving(self):
+        assert PoolSpec("max", 2, 2).output_size(32) == 16
+
+    def test_output_size_overlapping(self):
+        assert PoolSpec("max", 3, 2).output_size(112) == 55
+
+    def test_output_size_floor_at_one(self):
+        assert PoolSpec("max", 2, 2).output_size(1) == 1
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            PoolSpec("median", 2, 2)
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            PoolSpec("max", 0, 2)
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 256))
+    def test_output_smaller_than_input(self, window, stride, size):
+        out = PoolSpec("avg", window, stride).output_size(size)
+        assert 1 <= out <= size
+
+
+class TestStage:
+    def test_requires_exactly_one_member(self):
+        with pytest.raises(ValueError):
+            Stage()
+        with pytest.raises(ValueError):
+            Stage(layer=LayerSpec.fc(1, 1), pool=PoolSpec())
+
+    def test_holds_layer(self):
+        s = Stage(layer=LayerSpec.fc(1, 1))
+        assert s.layer is not None and s.pool is None

@@ -1,0 +1,53 @@
+"""Tests for the transformer-LM extension workload."""
+
+import pytest
+
+from repro.models.layers import LayerType
+from repro.models.transformer import transformer_lm
+
+
+class TestStructure:
+    def test_layers_per_block(self):
+        net = transformer_lm(num_blocks=3, d_model=256, vocab_size=1000)
+        # 4 attention projections + 2 MLP projections per block + LM head.
+        assert net.num_layers == 3 * 6 + 1
+
+    def test_all_layers_are_fc(self):
+        net = transformer_lm(num_blocks=2)
+        assert all(l.layer_type is LayerType.FC for l in net.layers)
+
+    def test_projection_shapes(self):
+        net = transformer_lm(num_blocks=1, d_model=128, mlp_ratio=4, vocab_size=512)
+        dims = [(l.in_channels, l.out_channels) for l in net.layers]
+        assert dims[:4] == [(128, 128)] * 4          # q, k, v, o
+        assert dims[4] == (128, 512)                 # mlp up
+        assert dims[5] == (512, 128)                 # mlp down
+        assert dims[6] == (128, 512)                 # lm head
+
+    def test_weight_count(self):
+        net = transformer_lm(num_blocks=1, d_model=64, mlp_ratio=2, vocab_size=100)
+        expected = 4 * 64 * 64 + 64 * 128 + 128 * 64 + 64 * 100
+        assert net.total_weights == expected
+
+    def test_indices_sequential(self):
+        net = transformer_lm(num_blocks=2)
+        assert [l.index for l in net.layers] == list(range(net.num_layers))
+
+    def test_rejects_invalid_dims(self):
+        with pytest.raises(ValueError):
+            transformer_lm(num_blocks=0)
+        with pytest.raises(ValueError):
+            transformer_lm(d_model=0)
+
+    def test_custom_name(self):
+        assert transformer_lm(name="MyLM").name == "MyLM"
+
+
+class TestSearchCompatibility:
+    def test_mappable_and_searchable(self):
+        from repro.core import autohet_search
+
+        net = transformer_lm(num_blocks=1, d_model=128, vocab_size=256)
+        result = autohet_search(net, rounds=10, seed=0)
+        assert result.best_metrics.utilization > 0
+        assert len(result.best_strategy) == net.num_layers

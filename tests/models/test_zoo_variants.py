@@ -1,0 +1,69 @@
+"""Workloads rebound to non-default datasets, and derived-shape checks.
+
+The zoo builders accept any dataset descriptor; these tests pin the shape
+propagation for the cross pairings (AlexNet on CIFAR-10, LeNet on
+CIFAR-10, VGG16 on MNIST-like sizes are not meaningful for VGG's 5 pools,
+so only valid pairings are tested) and the aggregate statistics the
+energy model depends on.
+"""
+
+import pytest
+
+from repro.models import CIFAR10, MNIST, alexnet, get_model, lenet, tiny_cnn, vgg16
+
+
+class TestDatasetRebinding:
+    def test_alexnet_on_cifar(self):
+        net = alexnet(CIFAR10)
+        assert net.layers[0].in_channels == 3
+        assert net.layers[0].input_size == 32
+        # 32 -> 16 -> 8 -> 4 after three pools; flatten = 256*4*4.
+        assert net.fc_layers()[0].in_channels == 256 * 4 * 4
+
+    def test_lenet_on_cifar(self):
+        net = lenet(CIFAR10)
+        # 32 -> pool 16 -> conv 12 -> pool 6.
+        assert net.fc_layers()[0].in_channels == 16 * 6 * 6
+
+    def test_tiny_cnn_on_mnist(self):
+        net = tiny_cnn(MNIST)
+        assert net.layers[0].in_channels == 1
+        assert net.fc_layers()[0].in_channels == 32 * 7 * 7
+
+    def test_rebinding_changes_mvm_counts(self):
+        small = lenet(MNIST)
+        big = lenet(CIFAR10)
+        assert big.layers[0].mvm_ops > small.layers[0].mvm_ops
+
+
+class TestAggregateStatistics:
+    @pytest.mark.parametrize(
+        "name,weights_millions",
+        [("alexnet", 28.5), ("vgg16", 20.9), ("resnet152", 60.0)],
+    )
+    def test_total_weights_magnitude(self, name, weights_millions):
+        net = get_model(name)
+        assert net.total_weights / 1e6 == pytest.approx(
+            weights_millions, rel=0.02
+        )
+
+    def test_vgg16_macs_dominated_by_convs(self):
+        net = vgg16()
+        conv_macs = sum(l.macs for l in net.conv_layers())
+        assert conv_macs > 0.8 * net.total_macs
+
+    def test_resnet_macs_positive_everywhere(self):
+        for layer in get_model("resnet152").layers:
+            assert layer.macs > 0
+            assert layer.mvm_ops >= 1
+
+    def test_alexnet_fc_heavy(self):
+        """AlexNet's parameters concentrate in the FC head."""
+        net = alexnet()
+        fc_weights = sum(l.weight_count for l in net.fc_layers())
+        assert fc_weights > 0.6 * net.total_weights
+
+    def test_transformer_registry_entry(self):
+        net = get_model("transformer")
+        assert net.num_layers == 25
+        assert all(l.layer_type.name == "FC" for l in net.layers)

@@ -1,0 +1,180 @@
+"""Pinned reproduction of the paper's qualitative claims.
+
+Each test corresponds to a statement in the paper's evaluation (§2.2,
+§4.2-§4.5).  Absolute numbers are not asserted — our cost-model constants
+differ from the authors' MNSIM checkout — but every *shape* (who wins, in
+which direction, roughly by how much) is.
+
+These tests use reduced RL round counts to stay fast; the benchmark
+harness regenerates the full tables.
+"""
+
+import pytest
+
+from repro.arch.config import (
+    CrossbarShape,
+    DEFAULT_CANDIDATES,
+    SQUARE_CANDIDATES,
+)
+from repro.core import autohet_search
+from repro.core.search import best_homogeneous, manual_hetero_strategy
+from repro.models import alexnet, vgg16
+from repro.sim import Simulator
+
+ROUNDS = 80
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return Simulator()
+
+
+@pytest.fixture(scope="module")
+def vgg():
+    return vgg16()
+
+
+@pytest.fixture(scope="module")
+def vgg_search(vgg, sim):
+    return autohet_search(
+        vgg, DEFAULT_CANDIDATES, rounds=ROUNDS, simulator=sim, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def homo_metrics(vgg, sim):
+    return {
+        shape: sim.evaluate_homogeneous(vgg, shape)
+        for shape in SQUARE_CANDIDATES
+    }
+
+
+class TestMotivation:
+    def test_fig3_homogeneous_tradeoff(self, homo_metrics):
+        """§2.2: homogeneous gives either high utilization (32x32) or low
+        energy (512x512), never both."""
+        best_util = max(homo_metrics.values(), key=lambda m: m.utilization)
+        best_energy = min(homo_metrics.values(), key=lambda m: m.energy_nj)
+        assert best_util.strategy != best_energy.strategy
+
+    def test_fig3_energy_monotone_in_size(self, homo_metrics):
+        energies = [homo_metrics[s].energy_nj for s in SQUARE_CANDIDATES]
+        assert all(a > b for a, b in zip(energies, energies[1:]))
+
+    def test_fig3_manual_hetero_has_highest_rue(self, vgg, sim, homo_metrics):
+        manual = sim.evaluate(
+            vgg, manual_hetero_strategy(vgg), tile_shared=False, detailed=False
+        )
+        assert manual.rue > max(m.rue for m in homo_metrics.values())
+
+    def test_fig9c_energy_spread_matches_paper(self, homo_metrics):
+        """Paper: worst homo burns ~12.5x the energy of the best (VGG16)."""
+        energies = [m.energy_nj for m in homo_metrics.values()]
+        ratio = max(energies) / min(energies)
+        assert 6 < ratio < 25
+
+
+class TestOverallPerformance:
+    def test_autohet_beats_best_homogeneous_rue(self, vgg_search, homo_metrics):
+        """Fig. 9a: AutoHet has the highest RUE (paper: 2.2x for VGG16)."""
+        best_homo_rue = max(m.rue for m in homo_metrics.values())
+        assert vgg_search.best_metrics.rue > 1.2 * best_homo_rue
+
+    def test_autohet_energy_reduction_vs_worst(self, vgg_search, homo_metrics):
+        """Abstract: energy reduced by up to ~94.6% vs homogeneous."""
+        worst = max(m.energy_nj for m in homo_metrics.values())
+        reduction = 1 - vgg_search.best_metrics.energy_nj / worst
+        assert reduction > 0.85
+
+    def test_autohet_prefers_large_rectangles_for_vgg(self, vgg_search):
+        """Table 3 (+Hy): most VGG16 layers land on 576x512/288x256."""
+        large = sum(
+            1 for s in vgg_search.best_strategy
+            if s in (CrossbarShape(576, 512), CrossbarShape(288, 256))
+        )
+        assert large >= 12
+
+    def test_base_is_512_for_vgg16(self, vgg, sim):
+        """§4.3: Base (best homogeneous) for VGG16 is 512x512."""
+        shape, _ = best_homogeneous(vgg, SQUARE_CANDIDATES, sim)
+        assert shape == CrossbarShape(512, 512)
+
+
+class TestIndividualTechniques:
+    def test_rectangles_beat_squares_of_same_width(self, vgg, sim):
+        """§4.3: heights that are multiples of 9 suit 3x3-kernel layers."""
+        square = sim.evaluate_homogeneous(vgg, CrossbarShape(512, 512))
+        rect = sim.evaluate(
+            vgg,
+            tuple(CrossbarShape(576, 512) for _ in vgg.layers),
+            tile_shared=False,
+            detailed=False,
+        )
+        assert rect.utilization > square.utilization
+        assert rect.rue > square.rue
+
+    def test_tile_shared_reduces_occupied_tiles(self, vgg, sim, vgg_search):
+        """Table 4: All occupies fewer tiles than +Hy (paper: -10% VGG16)."""
+        strategy = vgg_search.best_strategy
+        unshared = sim.evaluate(vgg, strategy, tile_shared=False, detailed=False)
+        shared = sim.evaluate(vgg, strategy, tile_shared=True, detailed=False)
+        assert shared.occupied_tiles <= unshared.occupied_tiles
+        assert shared.utilization >= unshared.utilization
+
+    def test_ablation_rue_monotone(self, vgg, sim):
+        """Fig. 10: Base -> +He -> +Hy -> All never hurts RUE (VGG16)."""
+        _, base = best_homogeneous(vgg, SQUARE_CANDIDATES, sim)
+        he = autohet_search(
+            vgg, SQUARE_CANDIDATES, rounds=ROUNDS, simulator=sim,
+            tile_shared=False, seed=0,
+        ).best_metrics
+        hy = autohet_search(
+            vgg, DEFAULT_CANDIDATES, rounds=ROUNDS, simulator=sim,
+            tile_shared=False, seed=0,
+        ).best_metrics
+        all_ = autohet_search(
+            vgg, DEFAULT_CANDIDATES, rounds=ROUNDS, simulator=sim,
+            tile_shared=True, seed=0,
+        ).best_metrics
+        assert he.rue >= 0.98 * base.rue
+        assert hy.rue >= he.rue
+        assert all_.rue >= 0.98 * hy.rue
+
+
+class TestAreaLatency:
+    def test_table5_autohet_smallest_area(self, vgg, sim, vgg_search):
+        """Table 5: AutoHet occupies the least area."""
+        areas = [
+            sim.evaluate_homogeneous(vgg, s).area_um2 for s in SQUARE_CANDIDATES
+        ]
+        assert vgg_search.best_metrics.area_um2 < min(areas)
+
+    def test_table5_area_shrinks_with_crossbar_size(self, homo_metrics):
+        areas = [homo_metrics[s].area_um2 for s in SQUARE_CANDIDATES]
+        assert all(a > b for a, b in zip(areas, areas[1:]))
+        assert 5 < areas[0] / areas[-1] < 20  # paper: ~10.8x
+
+    def test_table5_autohet_latency_not_significantly_higher(
+        self, vgg_search, homo_metrics
+    ):
+        """§4.5: AutoHet's latency is within a few percent of the best."""
+        best = min(m.latency_ns for m in homo_metrics.values())
+        assert vgg_search.best_metrics.latency_ns < 1.25 * best
+
+
+class TestSearchTime:
+    def test_search_time_split_reported(self, vgg_search):
+        """§4.5: the harness reports the decision/simulator time split."""
+        assert vgg_search.total_seconds > 0
+        assert 0 < vgg_search.simulator_fraction < 1
+
+
+class TestAlexNet:
+    def test_autohet_wins_on_alexnet_too(self, sim):
+        """Fig. 9: AutoHet outperforms the best homo by ~1.3x (AlexNet)."""
+        net = alexnet()
+        _, base = best_homogeneous(net, SQUARE_CANDIDATES, sim)
+        result = autohet_search(
+            net, DEFAULT_CANDIDATES, rounds=ROUNDS, simulator=sim, seed=0
+        )
+        assert result.best_metrics.rue > base.rue

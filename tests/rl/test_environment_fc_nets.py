@@ -1,0 +1,53 @@
+"""Environment behaviour on FC-only networks (the transformer workload).
+
+The Table-1 state vector was designed around CONV features; FC-only
+networks exercise its edge cases — unit strides everywhere, type code 0,
+input size 1 — and the normalisation must stay well-defined.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import DEFAULT_CANDIDATES
+from repro.core.rl.environment import CrossbarSearchEnv
+from repro.models.transformer import transformer_lm
+from repro.sim import Simulator
+
+
+@pytest.fixture(scope="module")
+def env():
+    net = transformer_lm(num_blocks=1, d_model=128, vocab_size=512)
+    return CrossbarSearchEnv(net, DEFAULT_CANDIDATES, Simulator())
+
+
+class TestFCOnlyStates:
+    def test_all_type_codes_zero(self, env):
+        for i in range(env.num_layers):
+            assert env.observe(i, 0, 0)[1] == 0.0
+
+    def test_stride_dim_degenerate_but_finite(self, env):
+        """All strides are 1 -> the normalised stride is exactly 1."""
+        for i in range(env.num_layers):
+            s = env.observe(i, 0, 0)
+            assert s[5] == 1.0
+            assert np.isfinite(s).all()
+
+    def test_kernel_dim_unit(self, env):
+        for i in range(env.num_layers):
+            assert env.observe(i, 0, 0)[4] == 1.0  # ks = 1 for every FC
+
+    def test_channel_features_discriminate_layers(self, env):
+        """The up and down projections must look different to the agent."""
+        up = env.observe(4, 0, 0)     # 128 -> 512 (mlp.up)
+        down = env.observe(5, 0, 0)   # 512 -> 128 (mlp.down)
+        assert up[2] != down[2] or up[3] != down[3]
+
+    def test_states_in_unit_box(self, env):
+        for i in range(env.num_layers):
+            s = env.observe(i, 1.0, 1.0)
+            assert (s >= 0).all() and (s <= 1.0 + 1e-12).all()
+
+    def test_episode_runs(self, env):
+        result = env.rollout(lambda s: 3)
+        assert result.metrics.utilization > 0
+        assert len(result.transitions) == env.num_layers

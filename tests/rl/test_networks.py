@@ -1,0 +1,166 @@
+"""MLP + Adam tests, including finite-difference gradient verification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rl.networks import MLP, Adam
+
+
+def finite_diff_grads(net, x, upstream, eps=1e-6):
+    """Numerical gradients of sum(upstream * net(x)) wrt all parameters."""
+    def loss():
+        return float(np.sum(upstream * net.forward(x)))
+
+    grads = []
+    for p in net.parameters():
+        g = np.zeros_like(p)
+        it = np.nditer(p, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            orig = p[idx]
+            p[idx] = orig + eps
+            hi = loss()
+            p[idx] = orig - eps
+            lo = loss()
+            p[idx] = orig
+            g[idx] = (hi - lo) / (2 * eps)
+            it.iternext()
+        grads.append(g)
+    return grads
+
+
+class TestForward:
+    def test_output_shape(self):
+        net = MLP.create([4, 8, 2])
+        out = net.forward(np.zeros((5, 4)))
+        assert out.shape == (5, 2)
+
+    def test_1d_input_promoted(self):
+        net = MLP.create([4, 8, 2])
+        assert net.forward(np.zeros(4)).shape == (1, 2)
+
+    def test_sigmoid_output_bounded(self):
+        net = MLP.create([3, 8, 1], output_activation="sigmoid")
+        out = net.forward(np.random.default_rng(0).normal(size=(20, 3)))
+        assert np.all((out > 0) & (out < 1))
+
+    def test_rejects_too_few_sizes(self):
+        with pytest.raises(ValueError):
+            MLP.create([4])
+
+    def test_unknown_activation_raises(self):
+        net = MLP.create([2, 2], output_activation="softplus")
+        with pytest.raises(ValueError):
+            net.forward(np.zeros((1, 2)))
+
+    def test_deterministic_init_by_rng(self):
+        a = MLP.create([4, 8, 1], rng=np.random.default_rng(3))
+        b = MLP.create([4, 8, 1], rng=np.random.default_rng(3))
+        assert all(np.array_equal(x, y) for x, y in zip(a.parameters(), b.parameters()))
+
+
+class TestBackward:
+    @pytest.mark.parametrize(
+        "hidden_act,out_act",
+        [("relu", "linear"), ("tanh", "sigmoid"), ("relu", "tanh")],
+    )
+    def test_gradients_match_finite_differences(self, hidden_act, out_act):
+        rng = np.random.default_rng(1)
+        net = MLP.create(
+            [3, 6, 2],
+            hidden_activation=hidden_act,
+            output_activation=out_act,
+            rng=rng,
+        )
+        x = rng.normal(size=(4, 3))
+        upstream = rng.normal(size=(4, 2))
+        grad_w, grad_b, _ = net.backward(x, upstream)
+        num = finite_diff_grads(net, x, upstream)
+        for analytic, numeric in zip(grad_w + grad_b, num):
+            assert np.allclose(analytic, numeric, atol=1e-4), (
+                f"{hidden_act}/{out_act} gradient mismatch"
+            )
+
+    def test_input_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(2)
+        net = MLP.create([3, 5, 1], hidden_activation="tanh", rng=rng)
+        x = rng.normal(size=(2, 3))
+        upstream = np.ones((2, 1))
+        _, _, dx = net.backward(x, upstream)
+        eps = 1e-6
+        for i in range(2):
+            for j in range(3):
+                xp = x.copy(); xp[i, j] += eps
+                xm = x.copy(); xm[i, j] -= eps
+                num = (net.forward(xp).sum() - net.forward(xm).sum()) / (2 * eps)
+                assert dx[i, j] == pytest.approx(num, abs=1e-4)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_gradient_property_random_nets(self, seed):
+        rng = np.random.default_rng(seed)
+        net = MLP.create([2, 4, 1], hidden_activation="tanh", rng=rng)
+        x = rng.normal(size=(3, 2))
+        upstream = rng.normal(size=(3, 1))
+        grad_w, grad_b, _ = net.backward(x, upstream)
+        num = finite_diff_grads(net, x, upstream)
+        for analytic, numeric in zip(grad_w + grad_b, num):
+            assert np.allclose(analytic, numeric, atol=1e-4)
+
+
+class TestTargets:
+    def test_clone_is_deep(self):
+        net = MLP.create([2, 3, 1])
+        clone = net.clone()
+        clone.weights[0][0, 0] += 1.0
+        assert net.weights[0][0, 0] != clone.weights[0][0, 0]
+
+    def test_soft_update_interpolates(self):
+        a = MLP.create([2, 2], rng=np.random.default_rng(0))
+        b = MLP.create([2, 2], rng=np.random.default_rng(1))
+        before = b.weights[0].copy()
+        b.soft_update_from(a, 0.5)
+        assert np.allclose(b.weights[0], 0.5 * a.weights[0] + 0.5 * before)
+
+    def test_copy_from_is_full_update(self):
+        a = MLP.create([2, 2], rng=np.random.default_rng(0))
+        b = MLP.create([2, 2], rng=np.random.default_rng(1))
+        b.copy_from(a)
+        assert np.array_equal(a.weights[0], b.weights[0])
+
+    def test_soft_update_rejects_bad_tau(self):
+        a = MLP.create([2, 2])
+        with pytest.raises(ValueError):
+            a.soft_update_from(a.clone(), 1.5)
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        p = [np.array([5.0])]
+        opt = Adam(p, lr=0.1)
+        for _ in range(300):
+            opt.step([2 * p[0]])  # d/dx x^2
+        assert abs(p[0][0]) < 0.05
+
+    def test_trains_mlp_on_regression(self):
+        rng = np.random.default_rng(0)
+        net = MLP.create([1, 16, 1], hidden_activation="tanh", rng=rng)
+        opt = Adam(net.parameters(), lr=1e-2)
+        x = rng.uniform(-1, 1, size=(64, 1))
+        y = x**2
+        first_loss = None
+        for _ in range(400):
+            pred = net.forward(x)
+            err = pred - y
+            loss = float(np.mean(err**2))
+            if first_loss is None:
+                first_loss = loss
+            gw, gb, _ = net.backward(x, 2 * err / err.shape[0])
+            opt.step(gw + gb)
+        assert loss < first_loss * 0.1
+
+    def test_rejects_mismatched_grads(self):
+        opt = Adam([np.zeros(2)])
+        with pytest.raises(ValueError):
+            opt.step([np.zeros(2), np.zeros(2)])

@@ -1,0 +1,82 @@
+"""Tests for candidate-set construction (§3.3, §4.3, §4.4)."""
+
+import pytest
+
+from repro.arch.config import CrossbarShape
+from repro.core.search import (
+    all_shapes,
+    hybrid_candidates,
+    ratio_candidates,
+    rectangle_candidates,
+    sized_candidates,
+    square_candidates,
+)
+
+
+class TestFixedSets:
+    def test_hybrid_is_section_3_3(self):
+        assert [str(s) for s in hybrid_candidates()] == [
+            "32x32", "36x32", "72x64", "288x256", "576x512",
+        ]
+
+    def test_square_set(self):
+        assert all(s.is_square for s in square_candidates())
+        assert len(square_candidates()) == 5
+
+    def test_rectangle_set(self):
+        assert all(s.rows % 9 == 0 for s in rectangle_candidates())
+        assert len(rectangle_candidates()) == 5
+
+    def test_all_shapes_sorted_and_complete(self):
+        shapes = all_shapes()
+        assert len(shapes) == 10
+        cells = [s.cells for s in shapes]
+        assert cells == sorted(cells)
+
+
+class TestRatioCandidates:
+    @pytest.mark.parametrize("num_s,num_r", [(2, 3), (3, 2), (4, 1)])
+    def test_fig11a_compositions(self, num_s, num_r):
+        cands = ratio_candidates(num_s, num_r)
+        assert len(cands) == num_s + num_r
+        squares = sum(1 for c in cands if c.is_square)
+        assert squares == num_s
+
+    def test_takes_largest_shapes(self):
+        cands = ratio_candidates(1, 1)
+        assert CrossbarShape(512, 512) in cands
+        assert CrossbarShape(576, 512) in cands
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ratio_candidates(0, 0)
+
+    def test_rejects_oversubscription(self):
+        with pytest.raises(ValueError):
+            ratio_candidates(6, 0)
+        with pytest.raises(ValueError):
+            ratio_candidates(0, 6)
+
+    def test_sorted_by_cells(self):
+        cands = ratio_candidates(3, 2)
+        cells = [c.cells for c in cands]
+        assert cells == sorted(cells)
+
+
+class TestSizedCandidates:
+    @pytest.mark.parametrize("count", [1, 2, 4, 8, 10])
+    def test_fig11b_sizes(self, count):
+        cands = sized_candidates(count)
+        assert len(cands) == count
+        assert len(set(cands)) == count
+
+    def test_mixes_families_when_possible(self):
+        cands = sized_candidates(4)
+        assert any(c.is_square for c in cands)
+        assert any(c.is_rectangle for c in cands)
+
+    def test_rejects_invalid_counts(self):
+        with pytest.raises(ValueError):
+            sized_candidates(0)
+        with pytest.raises(ValueError):
+            sized_candidates(11)

@@ -1,0 +1,136 @@
+"""Energy-model tests: component formulas, dominance, and monotonicity."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.config import (
+    CrossbarShape,
+    HardwareConfig,
+    SQUARE_CANDIDATES,
+)
+from repro.arch.mapping import map_layer
+from repro.models import vgg16
+from repro.models.layers import LayerSpec
+from repro.sim.energy import (
+    adc_conversions_per_cycle,
+    layer_adc_conversions,
+    layer_dac_conversions,
+    layer_dynamic_energy,
+    leakage_energy,
+    pooling_energy,
+)
+
+CFG = HardwareConfig()
+
+
+class TestConversionCounts:
+    def test_adc_conversions_formula(self):
+        layer = LayerSpec.conv(12, 128, 3, input_size=8)
+        mapping = map_layer(layer, CrossbarShape(64, 64))
+        # mvm_ops * used_columns * 8 input cycles * 8 weight slices
+        assert layer_adc_conversions(mapping, CFG) == 36 * 256 * 64
+
+    def test_dac_conversions_formula(self):
+        layer = LayerSpec.conv(12, 128, 3, input_size=8)
+        mapping = map_layer(layer, CrossbarShape(64, 64))
+        assert layer_dac_conversions(mapping, CFG) == 36 * (2 * 108) * 64
+
+    def test_fig5_energy_ordering(self):
+        """Fewer activated ADCs on 128x128 than 64x64 (Fig. 5)."""
+        layer = LayerSpec.conv(12, 128, 3, input_size=8)
+        small = layer_adc_conversions(map_layer(layer, CrossbarShape(64, 64)), CFG)
+        large = layer_adc_conversions(map_layer(layer, CrossbarShape(128, 128)), CFG)
+        assert small == 2 * large
+
+    def test_idle_fraction_adds_idle_columns(self):
+        cfg = HardwareConfig(idle_line_energy_fraction=1.0)
+        layer = LayerSpec.conv(3, 20, 1, input_size=8)  # 20 of 32 cols used
+        mapping = map_layer(layer, CrossbarShape(32, 32))
+        assert adc_conversions_per_cycle(mapping, cfg) == 32
+        assert adc_conversions_per_cycle(mapping, CFG) == 20
+
+    def test_idle_fraction_interpolates(self):
+        cfg = HardwareConfig(idle_line_energy_fraction=0.5)
+        layer = LayerSpec.conv(3, 20, 1, input_size=8)
+        mapping = map_layer(layer, CrossbarShape(32, 32))
+        assert adc_conversions_per_cycle(mapping, cfg) == 20 + 0.5 * 12
+
+
+class TestDynamicEnergy:
+    def test_all_components_nonnegative(self):
+        layer = LayerSpec.conv(12, 128, 3, input_size=8)
+        e = layer_dynamic_energy(map_layer(layer, CrossbarShape(64, 64)), CFG)
+        for field in ("adc", "dac", "crossbar", "shift_add", "adder_tree", "buffer", "bus"):
+            assert getattr(e, field) >= 0
+
+    def test_adc_dominates(self):
+        """The paper's premise: ADCs are the most energy-consuming PC."""
+        layer = LayerSpec.conv(64, 64, 3, input_size=16)
+        for shape in SQUARE_CANDIDATES:
+            e = layer_dynamic_energy(map_layer(layer, shape), CFG)
+            others = e.total - e.adc
+            assert e.adc > others
+
+    def test_energy_scales_with_mvm_ops(self):
+        small = LayerSpec.conv(16, 16, 3, padding=1, input_size=8)
+        big = LayerSpec.conv(16, 16, 3, padding=1, input_size=16)
+        shape = CrossbarShape(64, 64)
+        e_small = layer_dynamic_energy(map_layer(small, shape), CFG).total
+        e_big = layer_dynamic_energy(map_layer(big, shape), CFG).total
+        assert e_big == pytest.approx(4 * e_small)
+
+    def test_taller_crossbars_cut_adc_energy(self):
+        """Fewer row groups -> fewer conversions (the §2.2.3 trade-off)."""
+        layer = LayerSpec.conv(512, 512, 3, input_size=4)
+        e288 = layer_dynamic_energy(map_layer(layer, CrossbarShape(288, 256)), CFG)
+        e576 = layer_dynamic_energy(map_layer(layer, CrossbarShape(576, 512)), CFG)
+        assert e576.adc < e288.adc
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 64), st.integers(1, 128), st.sampled_from([1, 3]))
+    def test_energy_positive_property(self, cin, cout, k):
+        layer = LayerSpec.conv(cin, cout, k, input_size=8)
+        for shape in (CrossbarShape(32, 32), CrossbarShape(576, 512)):
+            assert layer_dynamic_energy(map_layer(layer, shape), CFG).total > 0
+
+
+class TestStaticEnergy:
+    def test_leakage_scales_with_allocation(self):
+        lo = leakage_energy(1, 4, 1000, 1e6, CFG)
+        hi = leakage_energy(2, 8, 2000, 1e6, CFG)
+        assert hi == pytest.approx(2 * lo)
+
+    def test_leakage_scales_with_latency(self):
+        assert leakage_energy(1, 4, 100, 2e6, CFG) == pytest.approx(
+            2 * leakage_energy(1, 4, 100, 1e6, CFG)
+        )
+
+    def test_cell_leakage_term_present(self):
+        base = leakage_energy(1, 4, 0, 1e6, CFG)
+        with_cells = leakage_energy(1, 4, 10_000, 1e6, CFG)
+        assert with_cells > base
+
+    def test_pooling_energy_counts_pooled_elements(self):
+        net = vgg16()
+        assert pooling_energy(net, CFG) > 0
+        # No pooling stages -> zero.
+        from repro.models.transformer import transformer_lm
+
+        assert pooling_energy(transformer_lm(num_blocks=1), CFG) == 0.0
+
+
+class TestEnergyBreakdown:
+    def test_breakdown_addition(self):
+        from repro.sim.metrics import EnergyBreakdown
+
+        a = EnergyBreakdown(adc=1.0, dac=2.0)
+        b = EnergyBreakdown(adc=3.0, pooling=1.0)
+        c = a + b
+        assert c.adc == 4.0 and c.dac == 2.0 and c.pooling == 1.0
+        assert c.total == pytest.approx(7.0)
+
+    def test_breakdown_scaling(self):
+        from repro.sim.metrics import EnergyBreakdown
+
+        e = EnergyBreakdown(adc=2.0, bus=4.0).scaled(0.5)
+        assert e.adc == 1.0 and e.bus == 2.0

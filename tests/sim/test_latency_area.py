@@ -1,0 +1,115 @@
+"""Latency and area model tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.config import (
+    CrossbarShape,
+    HardwareConfig,
+    SQUARE_CANDIDATES,
+)
+from repro.arch.mapping import map_layer
+from repro.core.allocation import allocate_tile_based, apply_tile_sharing
+from repro.models import vgg16
+from repro.models.layers import LayerSpec
+from repro.sim.area import (
+    allocation_area_um2,
+    crossbar_slot_area_um2,
+    tile_area_um2,
+)
+from repro.sim.latency import layer_latency_ns, mvm_latency_ns, pooling_latency_ns
+
+CFG = HardwareConfig()
+
+
+class TestLatency:
+    def test_mvm_latency_includes_bit_serial_cycles(self):
+        layer = LayerSpec.fc(100, 100)
+        mapping = map_layer(layer, CrossbarShape(128, 128))
+        t = mvm_latency_ns(mapping, CFG)
+        floor = CFG.input_cycles * (
+            CFG.latency_dac_ns + CFG.latency_xbar_ns + CFG.latency_adc_ns
+        )
+        assert t > floor
+
+    def test_layer_latency_scales_with_positions(self):
+        shape = CrossbarShape(64, 64)
+        small = LayerSpec.conv(8, 8, 3, padding=1, input_size=4)
+        big = LayerSpec.conv(8, 8, 3, padding=1, input_size=8)
+        assert layer_latency_ns(map_layer(big, shape), CFG) == pytest.approx(
+            4 * layer_latency_ns(map_layer(small, shape), CFG)
+        )
+
+    def test_adc_mux_depth_raises_latency(self):
+        layer = LayerSpec.fc(100, 100)
+        mapping = map_layer(layer, CrossbarShape(128, 128))
+        shared = HardwareConfig(adc_sharing=8)
+        assert mvm_latency_ns(mapping, shared) > mvm_latency_ns(mapping, CFG)
+
+    def test_deeper_adder_trees_cost_time(self):
+        wide = LayerSpec.conv(512, 64, 3, input_size=4)   # many row groups
+        flat = LayerSpec.conv(8, 64, 3, input_size=4)     # one row group
+        shape = CrossbarShape(72, 64)
+        assert mvm_latency_ns(map_layer(wide, shape), CFG) > mvm_latency_ns(
+            map_layer(flat, shape), CFG
+        )
+
+    def test_pooling_latency_positive_for_vgg(self):
+        assert pooling_latency_ns(vgg16(), CFG) > 0
+
+    def test_vgg16_magnitude_matches_table5(self, simulator, vgg_net):
+        """Paper Table 5: VGG16 inference latency is a few times 1e6 ns."""
+        for shape in SQUARE_CANDIDATES:
+            m = simulator.evaluate_homogeneous(vgg_net, shape)
+            assert 5e5 < m.latency_ns < 2e7
+
+
+class TestArea:
+    def test_slot_area_includes_bit_slice_group(self):
+        cfg = CFG
+        one = crossbar_slot_area_um2(CrossbarShape(32, 32), cfg)
+        half_group = cfg.with_(weight_bits=4)
+        assert crossbar_slot_area_um2(
+            CrossbarShape(32, 32), half_group
+        ) == pytest.approx(one / 2)
+
+    def test_adc_dominates_small_crossbar_area(self):
+        shape = CrossbarShape(32, 32)
+        adc_part = shape.cols * CFG.area_adc_um2() * CFG.xbars_per_group
+        assert adc_part > 0.8 * crossbar_slot_area_um2(shape, CFG)
+
+    def test_area_per_cell_decreases_with_size(self):
+        """The Table 5 trend: big crossbars amortise peripherals."""
+        per_cell = [
+            crossbar_slot_area_um2(s, CFG) / s.cells for s in SQUARE_CANDIDATES
+        ]
+        assert all(a > b for a, b in zip(per_cell, per_cell[1:]))
+
+    def test_tile_area_adds_overheads(self):
+        shape = CrossbarShape(64, 64)
+        assert tile_area_um2(shape, CFG) > CFG.logical_xbars_per_tile * (
+            crossbar_slot_area_um2(shape, CFG)
+        )
+
+    def test_tile_sharing_reduces_area(self):
+        net = vgg16()
+        mappings = [map_layer(l, CrossbarShape(576, 512)) for l in net.layers]
+        base = allocate_tile_based(mappings, 4)
+        shared = apply_tile_sharing(base)
+        assert allocation_area_um2(shared, CFG) <= allocation_area_um2(base, CFG)
+
+    def test_vgg16_area_magnitudes_match_table5(self, simulator, vgg_net):
+        """Paper Table 5: 2.29e10 um^2 (SXB32) down to 2.12e9 (SXB512)."""
+        a32 = simulator.evaluate_homogeneous(vgg_net, CrossbarShape(32, 32)).area_um2
+        a512 = simulator.evaluate_homogeneous(vgg_net, CrossbarShape(512, 512)).area_um2
+        assert 1e10 < a32 < 6e10
+        assert 1e9 < a512 < 6e9
+        assert 5 < a32 / a512 < 20
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sampled_from(SQUARE_CANDIDATES), st.integers(1, 32))
+    def test_area_monotone_in_capacity(self, shape, capacity):
+        cfg = CFG.with_(pes_per_tile=capacity)
+        assert tile_area_um2(shape, cfg) > 0
+        bigger = CFG.with_(pes_per_tile=capacity + 1)
+        assert tile_area_um2(shape, bigger) > tile_area_um2(shape, cfg)

@@ -1,0 +1,78 @@
+"""Tests for SystemMetrics / LayerCost bookkeeping details."""
+
+import pytest
+
+from repro.arch.config import CrossbarShape
+from repro.models import lenet
+from repro.sim import Simulator
+from repro.sim.metrics import EnergyBreakdown, LayerCost, SystemMetrics
+
+
+@pytest.fixture(scope="module")
+def detailed_metrics():
+    net = lenet()
+    strategy = tuple(CrossbarShape(72, 64) for _ in net.layers)
+    return net, Simulator().evaluate(net, strategy, detailed=True)
+
+
+class TestLayerCosts:
+    def test_layer_energy_sums_to_dynamic_total(self, detailed_metrics):
+        _, m = detailed_metrics
+        per_layer = sum(c.energy.total for c in m.layer_costs)
+        overhead = m.energy_breakdown.pooling + m.energy_breakdown.leakage
+        assert per_layer + overhead == pytest.approx(m.energy_nj)
+
+    def test_layer_latency_below_total(self, detailed_metrics):
+        _, m = detailed_metrics
+        per_layer = sum(c.latency_ns for c in m.layer_costs)
+        assert per_layer <= m.latency_ns  # pooling adds the rest
+        assert per_layer > 0.9 * m.latency_ns
+
+    def test_layer_cost_fields(self, detailed_metrics):
+        net, m = detailed_metrics
+        for cost, layer in zip(m.layer_costs, net.layers):
+            assert cost.layer_index == layer.index
+            assert cost.mvm_ops == layer.mvm_ops
+            assert cost.shape_str == "72x64"
+            assert cost.adc_conversions > 0
+            assert cost.dac_conversions > 0
+            assert 0 < cost.intra_utilization <= 1
+
+    def test_occupied_crossbars_sum(self, detailed_metrics):
+        _, m = detailed_metrics
+        assert m.occupied_crossbars == sum(
+            c.num_crossbars for c in m.layer_costs
+        )
+
+
+class TestMetricsConsistency:
+    def test_strategy_strings(self, detailed_metrics):
+        net, m = detailed_metrics
+        assert m.strategy == tuple("72x64" for _ in net.layers)
+
+    def test_empty_crossbars_nonnegative(self, detailed_metrics):
+        _, m = detailed_metrics
+        assert m.empty_crossbars >= 0
+        slots = m.occupied_crossbars + m.empty_crossbars
+        assert slots % Simulator().config.logical_xbars_per_tile == 0
+
+    def test_rue_percent_vs_reward_factor(self, detailed_metrics):
+        _, m = detailed_metrics
+        assert m.rue == pytest.approx(100 * m.reward)
+
+
+class TestEnergyBreakdownAlgebra:
+    def test_identity_addition(self):
+        e = EnergyBreakdown(adc=1.0)
+        assert (e + EnergyBreakdown()).total == e.total
+
+    def test_total_covers_all_fields(self):
+        e = EnergyBreakdown(
+            adc=1, dac=2, crossbar=3, shift_add=4, adder_tree=5,
+            buffer=6, bus=7, pooling=8, leakage=9,
+        )
+        assert e.total == 45
+
+    def test_scaled_zero(self):
+        e = EnergyBreakdown(adc=3.0).scaled(0.0)
+        assert e.total == 0.0

@@ -1,0 +1,118 @@
+"""Tests for the JSON/CSV experiment exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.bench import (
+    fig4_empty_crossbars,
+    fig5_tradeoff,
+    fig9_overall,
+    fig10_ablation,
+    fig11b_candidate_count,
+    fig3_motivation,
+    table3_strategies,
+    table4_tiles,
+)
+from repro.bench.export import (
+    ablation_to_records,
+    fig4_to_records,
+    fig5_to_records,
+    overall_to_records,
+    rows_to_records,
+    sensitivity_to_records,
+    table3_to_records,
+    table4_to_records,
+    to_csv,
+    to_json,
+)
+from repro.models import lenet
+
+FAST = dict(rounds=8, seed=0)
+
+
+class TestRecordBuilders:
+    def test_rows_records(self):
+        records = rows_to_records(fig3_motivation())
+        assert len(records) == 6
+        assert records[0]["accelerator"] == "32x32"
+        assert all("rue" in r and "energy_nj" in r for r in records)
+
+    def test_rows_records_extra_columns(self):
+        records = rows_to_records(fig3_motivation(), model="VGG16")
+        assert all(r["model"] == "VGG16" for r in records)
+
+    def test_overall_records(self):
+        records = overall_to_records(fig9_overall([lenet()], **FAST))
+        assert len(records) == 6
+        assert {r["model"] for r in records} == {"LeNet"}
+
+    def test_ablation_records(self):
+        records = ablation_to_records(fig10_ablation([lenet()], **FAST))
+        assert [r["accelerator"] for r in records] == ["Base", "+He", "+Hy", "All"]
+
+    def test_fig4_records(self):
+        records = fig4_to_records(fig4_empty_crossbars())
+        assert len(records) == 16  # 4 layers x 4 tile sizes
+        assert all(0 <= r["empty_fraction"] <= 1 for r in records)
+
+    def test_fig5_records(self):
+        records = fig5_to_records(fig5_tradeoff())
+        assert records[0]["activated_adcs"] == 256
+
+    def test_sensitivity_records(self):
+        points = fig11b_candidate_count(counts=(2,), **FAST)
+        records = sensitivity_to_records(points, x_label="count")
+        assert records[0]["count"] == "2"
+        assert records[0]["speedup"] > 0
+
+    def test_table3_records(self):
+        records = table3_to_records(table3_strategies(**FAST))
+        assert len(records) == 16
+        assert set(records[0]) == {"layer", "Base", "+He", "+Hy"}
+
+    def test_table4_records(self):
+        records = table4_to_records(table4_tiles([lenet()], **FAST))
+        assert len(records) == 2
+        assert {r["variant"] for r in records} == {"+Hy", "All"}
+
+
+class TestWriters:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return rows_to_records(fig3_motivation())
+
+    def test_json_round_trip(self, records):
+        assert json.loads(to_json(records)) == json.loads(
+            json.dumps(records, sort_keys=True)
+        )
+
+    def test_json_file(self, records, tmp_path):
+        path = tmp_path / "fig3.json"
+        to_json(records, path)
+        assert len(json.loads(path.read_text())) == 6
+
+    def test_csv_header_union(self, records):
+        text = to_csv(records)
+        reader = csv.DictReader(io.StringIO(text))
+        rows = list(reader)
+        assert len(rows) == 6
+        assert "accelerator" in reader.fieldnames
+        assert "rue" in reader.fieldnames
+
+    def test_csv_file(self, records, tmp_path):
+        path = tmp_path / "fig3.csv"
+        to_csv(records, path)
+        assert path.read_text().startswith("accelerator")
+
+    def test_csv_empty(self):
+        assert to_csv([]) == ""
+
+    def test_csv_values_parse_back(self, records):
+        text = to_csv(records)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert float(rows[0]["utilization_percent"]) == pytest.approx(
+            records[0]["utilization_percent"]
+        )

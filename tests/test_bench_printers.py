@@ -1,0 +1,103 @@
+"""Tests for the harness's table/series printers (output contracts)."""
+
+import pytest
+
+from repro.bench import (
+    fig3_motivation,
+    fig4_empty_crossbars,
+    fig5_tradeoff,
+    fig9_overall,
+    fig10_ablation,
+    fig11b_candidate_count,
+    print_fig3,
+    print_fig4,
+    print_fig5,
+    print_fig9,
+    print_fig10,
+    print_fig11,
+    print_search_time,
+    print_table3,
+    print_table4,
+    print_table5,
+    search_time_profile,
+    table3_strategies,
+    table4_tiles,
+    table5_area_latency,
+)
+from repro.models import lenet
+
+FAST = dict(rounds=10, seed=0)
+
+
+class TestStaticPrinters:
+    def test_fig3_printer(self, capsys):
+        print_fig3(fig3_motivation())
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "Manual-Hetero" in out
+        assert "RUE" in out
+
+    def test_fig4_printer(self, capsys):
+        print_fig4(fig4_empty_crossbars())
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "32 XBs/tile" in out
+        assert "%" in out
+
+    def test_fig5_printer(self, capsys):
+        print_fig5(fig5_tradeoff())
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "256" in out and "128" in out
+
+
+class TestSearchPrinters:
+    @pytest.fixture(scope="class")
+    def small_net(self):
+        return lenet()
+
+    def test_fig9_printer(self, capsys, small_net):
+        print_fig9(fig9_overall([small_net], **FAST))
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "AutoHet vs best homogeneous" in out
+        assert "energy_norm" in out
+
+    def test_fig10_printer(self, capsys, small_net):
+        print_fig10(fig10_ablation([small_net], **FAST))
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        for variant in ("Base", "+He", "+Hy", "All"):
+            assert variant in out
+
+    def test_fig11_printer(self, capsys):
+        points = fig11b_candidate_count(counts=(2,), **FAST)
+        print_fig11(points, panel="b", x_label="candidate count")
+        out = capsys.readouterr().out
+        assert "Figure 11(b)" in out
+        assert "speedup" in out and "x" in out
+
+    def test_table3_printer(self, capsys):
+        print_table3(table3_strategies(**FAST))
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "L16" in out
+
+    def test_table4_printer(self, capsys, small_net):
+        print_table4(table4_tiles([small_net], **FAST))
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "+Hy" in out and "All" in out
+
+    def test_table5_printer(self, capsys):
+        print_table5(table5_area_latency(**FAST))
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+        assert "area_um2" in out and "latency_ns" in out
+
+    def test_search_time_printer(self, capsys):
+        print_search_time(search_time_profile(rounds=5, seed=0))
+        out = capsys.readouterr().out
+        assert "search time" in out
+        assert "simulator feedback" in out
+        assert "%" in out

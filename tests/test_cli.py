@@ -1,0 +1,105 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search", "lenet"])
+        assert args.model == "lenet"
+        assert args.rounds == 300
+        assert not args.no_tile_shared
+
+    def test_experiment_choices(self):
+        for name in EXPERIMENTS:
+            args = build_parser().parse_args(["experiment", name])
+            assert args.name == name
+
+    def test_experiment_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_models_lists_workloads(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("alexnet", "vgg16", "resnet152", "lenet", "transformer"):
+            assert name in out
+
+    def test_baselines(self, capsys):
+        assert main(["baselines", "lenet"]) == 0
+        out = capsys.readouterr().out
+        assert "32x32" in out and "512x512" in out
+
+    def test_baselines_vgg_includes_manual(self, capsys):
+        assert main(["baselines", "vgg16"]) == 0
+        assert "Manual-Hetero" in capsys.readouterr().out
+
+    def test_search_small(self, capsys):
+        assert main(["search", "lenet", "--rounds", "8", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "AutoHet[LeNet]" in out
+        assert "strategy:" in out
+
+    def test_search_custom_candidates(self, capsys):
+        assert (
+            main([
+                "search", "lenet", "--rounds", "5",
+                "--candidates", "32x32,72x64",
+            ])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "32x32" in out or "72x64" in out
+
+    def test_search_no_tile_shared(self, capsys):
+        assert (
+            main(["search", "lenet", "--rounds", "5", "--no-tile-shared"]) == 0
+        )
+
+    def test_experiment_fig5(self, capsys):
+        assert main(["experiment", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "27" in out or "0.84" in out
+        assert "128x128" in out
+
+    def test_experiment_fig4(self, capsys):
+        assert main(["experiment", "fig4"]) == 0
+        assert "XBs/tile" in capsys.readouterr().out
+
+    def test_experiment_with_rounds(self, capsys):
+        assert (
+            main(["experiment", "table5", "--rounds", "10", "--seed", "0"]) == 0
+        )
+        assert "AutoHet" in capsys.readouterr().out
+
+    def test_unknown_model_errors(self):
+        with pytest.raises(KeyError):
+            main(["search", "googlenet", "--rounds", "5"])
+
+    def test_experiment_export_json(self, capsys, tmp_path):
+        path = tmp_path / "fig5.json"
+        assert main(["experiment", "fig5", "--export", str(path)]) == 0
+        import json
+
+        records = json.loads(path.read_text())
+        assert records[0]["activated_adcs"] == 256
+
+    def test_experiment_export_csv(self, tmp_path):
+        path = tmp_path / "fig4.csv"
+        assert main(["experiment", "fig4", "--export", str(path)]) == 0
+        assert "empty_fraction" in path.read_text()
+
+    def test_experiment_export_unsupported(self, tmp_path):
+        with pytest.raises(SystemExit, match="no flat-record exporter"):
+            main([
+                "experiment", "search-time",
+                "--export", str(tmp_path / "x.json"),
+            ])

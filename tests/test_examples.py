@@ -1,0 +1,81 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in-process (imported as a module and its
+``main()`` called) with reduced workloads where the script supports it.
+These are the same entry points a user would run, so they double as
+end-to-end API checks.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None):
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "AutoHet vs best homogeneous RUE" in out
+
+    def test_cost_model_tour(self, capsys):
+        run_example("cost_model_tour.py")
+        out = capsys.readouterr().out
+        assert "adc" in out and "Tile sharing" in out
+
+    def test_mapping_demo(self, capsys):
+        run_example("mapping_demo.py")
+        out = capsys.readouterr().out
+        assert "10.5%" in out
+        assert "100.0%" in out
+        assert "tile-shared" in out
+
+    def test_functional_inference(self, capsys):
+        run_example("functional_inference.py")
+        out = capsys.readouterr().out
+        assert "quantization error" in out
+        assert "Stuck-at" in out
+
+    def test_vgg16_search_reduced(self, capsys):
+        run_example("vgg16_search.py", ["15"])
+        out = capsys.readouterr().out
+        assert "Ablation" in out
+        assert "Per-layer strategy" in out
+
+    def test_resnet_search_reduced(self, capsys):
+        run_example("resnet_search.py", ["10"])
+        out = capsys.readouterr().out
+        assert "RUE speedup" in out
+        assert "conv 1x1" in out
+
+    @pytest.mark.slow
+    def test_transformer_search(self, capsys):
+        run_example("transformer_search.py")
+        out = capsys.readouterr().out
+        assert "Chosen shapes by projection kind" in out
+
+    @pytest.mark.slow
+    def test_multi_tenant(self, capsys):
+        run_example("multi_tenant.py")
+        out = capsys.readouterr().out
+        assert "Co-locating" in out
+
+    @pytest.mark.slow
+    def test_pipeline_throughput(self, capsys):
+        run_example("pipeline_throughput.py")
+        out = capsys.readouterr().out
+        assert "Replication sweep" in out

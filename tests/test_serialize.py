@@ -1,0 +1,111 @@
+"""Round-trip tests for serialization of strategies/configs/results."""
+
+import json
+
+import pytest
+
+from repro.arch.config import CrossbarShape, DEFAULT_CANDIDATES, HardwareConfig
+from repro.core import autohet_search
+from repro.models import lenet
+from repro.serialize import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    load_result_strategy,
+    load_strategy,
+    metrics_to_dict,
+    result_to_dict,
+    save_config,
+    save_result,
+    save_strategy,
+    strategy_from_list,
+    strategy_to_list,
+)
+
+
+class TestStrategyRoundTrip:
+    def test_list_round_trip(self):
+        strategy = (CrossbarShape(576, 512), CrossbarShape(36, 32))
+        assert strategy_from_list(strategy_to_list(strategy)) == strategy
+
+    def test_file_round_trip(self, tmp_path):
+        strategy = tuple(DEFAULT_CANDIDATES)
+        path = tmp_path / "strategy.json"
+        save_strategy(strategy, path)
+        assert load_strategy(path) == strategy
+
+    def test_file_is_readable_json(self, tmp_path):
+        path = tmp_path / "s.json"
+        save_strategy((CrossbarShape(72, 64),), path)
+        assert json.loads(path.read_text()) == ["72x64"]
+
+
+class TestConfigRoundTrip:
+    def test_dict_round_trip_default(self):
+        cfg = HardwareConfig()
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_dict_round_trip_custom(self):
+        cfg = HardwareConfig(pes_per_tile=16, adc_bits=8, weight_bits=4)
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_partial_dict_uses_defaults(self):
+        cfg = config_from_dict({"pes_per_tile": 32})
+        assert cfg.pes_per_tile == 32
+        assert cfg.adc_bits == HardwareConfig().adc_bits
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            config_from_dict({"gpu_count": 4})
+
+    def test_invalid_values_still_validated(self):
+        with pytest.raises(ValueError):
+            config_from_dict({"pes_per_tile": 0})
+
+    def test_file_round_trip(self, tmp_path):
+        cfg = HardwareConfig(adc_sharing=4, leak_cell_nw=0.2)
+        path = tmp_path / "hw.json"
+        save_config(cfg, path)
+        assert load_config(path) == cfg
+
+
+class TestResultSerialization:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return autohet_search(lenet(), rounds=10, seed=0)
+
+    def test_document_fields(self, result):
+        doc = result_to_dict(result)
+        assert doc["network"] == "LeNet"
+        assert doc["rounds"] == 10
+        assert len(doc["best_strategy"]) == 5
+        assert doc["best_metrics"]["rue"] == pytest.approx(result.best_metrics.rue)
+        assert len(doc["reward_history"]) == len(result.reward_history)
+        assert set(doc["timing"]) == {
+            "decision_seconds", "simulator_seconds", "learning_seconds",
+        }
+
+    def test_document_is_json_serialisable(self, result):
+        json.dumps(result_to_dict(result))
+
+    def test_strategy_recoverable_from_file(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        assert load_result_strategy(path) == result.best_strategy
+
+    def test_metrics_dict_fields(self, result):
+        doc = metrics_to_dict(result.best_metrics)
+        assert doc["utilization"] == pytest.approx(result.best_metrics.utilization)
+        assert doc["tile_shared"] is True
+
+    def test_saved_strategy_reevaluates_identically(self, result, tmp_path):
+        """The deployable artifact: saved strategy -> same metrics."""
+        from repro.sim import Simulator
+
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        strategy = load_result_strategy(path)
+        metrics = Simulator().evaluate(
+            lenet(), strategy, tile_shared=True, detailed=False
+        )
+        assert metrics.rue == pytest.approx(result.best_metrics.rue)

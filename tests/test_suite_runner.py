@@ -1,0 +1,66 @@
+"""Tests for the one-call full-suite runner."""
+
+import json
+
+import pytest
+
+from repro.bench.suite import run_full_suite, summarize_suite
+
+
+@pytest.fixture(scope="module")
+def doc():
+    # A very small budget: the point is structure, not search quality.
+    return run_full_suite(rounds=6, seed=0)
+
+
+class TestSuiteDocument:
+    def test_all_experiments_present(self, doc):
+        for key in (
+            "fig3", "fig4", "fig5", "fig9", "fig10",
+            "fig11a", "fig11b", "fig11c",
+            "table3", "table4", "table5", "search_time",
+        ):
+            assert key in doc, key
+            assert doc[key], key
+
+    def test_meta_block(self, doc):
+        assert doc["meta"]["rounds"] == 6
+        assert doc["meta"]["seed"] == 0
+        assert set(doc["meta"]["timing_s"]) >= {"fig3", "fig9", "table5"}
+        assert all(t >= 0 for t in doc["meta"]["timing_s"].values())
+
+    def test_json_serialisable(self, doc):
+        json.dumps(doc)
+
+    def test_fig9_covers_three_models(self, doc):
+        models = {r["model"] for r in doc["fig9"]}
+        assert models == {"AlexNet", "VGG16", "ResNet152"}
+
+    def test_fig5_records_pinned(self, doc):
+        adcs = {r["crossbar"]: r["activated_adcs"] for r in doc["fig5"]}
+        assert adcs == {"64x64": 256, "128x128": 128}
+
+    def test_search_time_block(self, doc):
+        (entry,) = doc["search_time"]
+        assert 0 < entry["simulator_fraction"] < 1
+
+    def test_summary_mentions_models_and_speedups(self, doc):
+        text = summarize_suite(doc)
+        assert "VGG16" in text and "ResNet152" in text
+        assert "x best homogeneous" in text
+        assert "total experiment time" in text
+
+
+class TestCLIIntegration:
+    def test_experiment_all_export(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "suite.json"
+        assert (
+            main(["experiment", "all", "--rounds", "5", "--export", str(path)])
+            == 0
+        )
+        doc = json.loads(path.read_text())
+        assert "fig9" in doc and "table5" in doc
+        out = capsys.readouterr().out
+        assert "wrote full suite document" in out
