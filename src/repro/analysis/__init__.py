@@ -1,0 +1,87 @@
+"""Static verification of configs, mappings, model graphs, and plans.
+
+``repro.analysis`` rejects invalid artifacts *before* anything expensive
+runs — an RL search must not burn simulator episodes on a plan that
+violates Eq. 4 bounds or Algorithm 1's accounting.  Three layers:
+
+* :mod:`repro.analysis.invariants` — the rule registry, `Diagnostic`
+  results, and the shared scalar rule implementations that
+  construction-time validation (``arch/config.py``) reuses.
+* :mod:`repro.analysis.checkers` — structural checks over
+  `HardwareConfig`, `CrossbarShape` candidate sets, `LayerMapping`,
+  `Network` graphs, and allocation plans (object- and dict-level).
+* :mod:`repro.analysis.lint` — project-specific AST lint rules for the
+  source tree itself.
+
+``repro check`` (see :mod:`repro.cli`) drives all three and exits
+nonzero on ERROR diagnostics; `docs/static_analysis.md` catalogues every
+rule id with its paper anchor.
+
+Only :mod:`~repro.analysis.invariants` names are imported eagerly here —
+it is dependency-free, so ``arch/config.py`` can import it during its own
+module initialisation without a cycle.  The checker/lint entry points are
+provided lazily via module ``__getattr__``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .invariants import (
+    RULES,
+    Diagnostic,
+    InvariantViolation,
+    Report,
+    Rule,
+    Severity,
+    rule,
+)
+
+__all__ = [
+    "RULES",
+    "Diagnostic",
+    "InvariantViolation",
+    "Report",
+    "Rule",
+    "Severity",
+    "rule",
+    # lazy (see __getattr__):
+    "check_allocation",
+    "check_candidate_set",
+    "check_config",
+    "check_config_dict",
+    "check_mapping",
+    "check_mappings",
+    "check_network",
+    "check_plan_dict",
+    "check_shape",
+    "lint_source",
+    "lint_tree",
+]
+
+_CHECKER_NAMES = frozenset(
+    {
+        "check_allocation",
+        "check_candidate_set",
+        "check_config",
+        "check_config_dict",
+        "check_mapping",
+        "check_mappings",
+        "check_network",
+        "check_plan_dict",
+        "check_shape",
+    }
+)
+_LINT_NAMES = frozenset({"lint_source", "lint_tree", "lint_path"})
+
+
+def __getattr__(name: str) -> Any:
+    if name in _CHECKER_NAMES:
+        from . import checkers
+
+        return getattr(checkers, name)
+    if name in _LINT_NAMES:
+        from . import lint
+
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,183 @@
+"""Project-specific AST lint rules for the ``repro`` source tree.
+
+Generic linters cannot know that ``repro``'s energy math must never use
+float equality, or that ``arch/`` dataclasses model immutable hardware
+descriptions unless explicitly declared stateful.  This module encodes
+those repo rules as AST passes producing the same
+:class:`~repro.analysis.invariants.Diagnostic` stream as the structural
+checkers, so ``repro check --source`` and CI share one report format.
+
+Rules
+-----
+LNT001  no ``print`` outside the CLI / bench reporting layer
+LNT002  no mutable default arguments
+LNT003  dataclasses under ``arch/`` are frozen or marked ``# stateful:``
+LNT004  no float-literal ``==`` / ``!=`` in energy/latency modules
+LNT005  no bare ``assert`` in ``core/allocation`` invariants
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable
+
+from .invariants import LNT001, LNT002, LNT003, LNT004, LNT005, Diagnostic
+
+#: module paths (relative, POSIX) where ``print`` is user-facing output
+PRINT_ALLOWED_PREFIXES = ("cli.py", "__main__.py", "bench/")
+
+#: marker that declares a deliberately mutable dataclass in arch/
+STATEFUL_MARKER = "# stateful:"
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("list", "dict", "set", "bytearray")
+    return False
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+    for dec in node.decorator_list:
+        if isinstance(dec, ast.Name) and dec.id == "dataclass":
+            return dec
+        if isinstance(dec, ast.Attribute) and dec.attr == "dataclass":
+            return dec
+        if isinstance(dec, ast.Call):
+            func = dec.func
+            if (isinstance(func, ast.Name) and func.id == "dataclass") or (
+                isinstance(func, ast.Attribute) and func.attr == "dataclass"
+            ):
+                return dec
+    return None
+
+
+def _is_frozen(dec: ast.expr) -> bool:
+    if isinstance(dec, ast.Call):
+        for kw in dec.keywords:
+            if kw.arg == "frozen" and isinstance(kw.value, ast.Constant):
+                return bool(kw.value.value)
+    return False
+
+
+def lint_source(source: str, rel_path: str) -> list[Diagnostic]:
+    """Run every lint rule over one module's source text.
+
+    ``rel_path`` is the module's path relative to the package root
+    (POSIX separators); it decides which path-scoped rules apply.
+    """
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        return [
+            LNT002.diag(
+                f"{rel_path}:{exc.lineno or 0}",
+                f"file does not parse: {exc.msg}",
+                hint="fix the syntax error first",
+            )
+        ]
+    lines = source.splitlines()
+    out: list[Diagnostic] = []
+
+    print_allowed = rel_path.startswith(PRINT_ALLOWED_PREFIXES)
+    in_arch = rel_path.startswith("arch/")
+    in_allocation = rel_path.startswith("core/allocation/")
+    cost_module = "energy" in Path(rel_path).stem or "latency" in Path(rel_path).stem
+
+    for node in ast.walk(tree):
+        # LNT001 — no print outside the CLI / bench layer.
+        if (
+            not print_allowed
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            out.append(
+                LNT001.diag(
+                    f"{rel_path}:{node.lineno}",
+                    "print() call in library code",
+                    hint="use the logging module, or move output to cli/bench",
+                )
+            )
+
+        # LNT002 — mutable default arguments.
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    out.append(
+                        LNT002.diag(
+                            f"{rel_path}:{default.lineno}",
+                            f"mutable default argument in {node.name}()",
+                            hint="default to None (or use dataclasses.field)",
+                        )
+                    )
+
+        # LNT003 — frozen-dataclass discipline under arch/.
+        if in_arch and isinstance(node, ast.ClassDef):
+            dec = _dataclass_decorator(node)
+            if dec is not None and not _is_frozen(dec):
+                dec_line = lines[dec.lineno - 1] if dec.lineno - 1 < len(lines) else ""
+                if STATEFUL_MARKER not in dec_line:
+                    out.append(
+                        LNT003.diag(
+                            f"{rel_path}:{node.lineno}",
+                            f"dataclass {node.name} in arch/ is mutable and "
+                            "not marked stateful",
+                            hint="add frozen=True, or append "
+                            f"'{STATEFUL_MARKER} <reason>' to the decorator line",
+                        )
+                    )
+
+        # LNT004 — float equality in energy/latency math.
+        if cost_module and isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            has_eq = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+            has_float = any(
+                isinstance(o, ast.Constant) and isinstance(o.value, float)
+                for o in operands
+            )
+            if has_eq and has_float:
+                out.append(
+                    LNT004.diag(
+                        f"{rel_path}:{node.lineno}",
+                        "float-literal equality comparison in cost-model math",
+                        hint="compare against a tolerance (math.isclose)",
+                    )
+                )
+
+        # LNT005 — no bare asserts in allocation invariants.
+        if in_allocation and isinstance(node, ast.Assert):
+            out.append(
+                LNT005.diag(
+                    f"{rel_path}:{node.lineno}",
+                    "bare assert in allocation invariant code",
+                    hint="raise InvariantViolation with a Diagnostic instead",
+                )
+            )
+    return out
+
+
+def lint_path(path: Path, root: Path) -> list[Diagnostic]:
+    """Lint one file; ``root`` is the package root the rules are scoped to."""
+    rel = path.relative_to(root).as_posix()
+    return lint_source(path.read_text(), rel)
+
+
+def lint_tree(root: Path | str | None = None) -> list[Diagnostic]:
+    """Lint every ``*.py`` under the package root (default: ``repro``'s own
+    source tree, wherever it is installed)."""
+    base = Path(root) if root is not None else Path(__file__).resolve().parent.parent
+    out: list[Diagnostic] = []
+    for path in sorted(base.rglob("*.py")):
+        out.extend(lint_path(path, base))
+    return out
+
+
+def iter_python_files(root: Path | str) -> Iterable[Path]:
+    """Public helper for tools that want the same file discovery."""
+    return sorted(Path(root).rglob("*.py"))

@@ -30,7 +30,15 @@ DACs (hence eight bit-serial input cycles), 10-bit ADCs, four PEs per tile,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from ..analysis.invariants import (
+    InvariantViolation,
+    adc_resolution_diagnostics,
+    config_value_diagnostics,
+    shape_dim_diagnostics,
+)
 
 
 @dataclass(frozen=True, order=True)
@@ -41,8 +49,11 @@ class CrossbarShape:
     cols: int
 
     def __post_init__(self) -> None:
-        if self.rows <= 0 or self.cols <= 0:
-            raise ValueError(f"crossbar dimensions must be positive, got {self}")
+        # Same rule implementation (SHP001) as the static checker, so
+        # construction-time and `repro check` validation cannot drift.
+        diags = shape_dim_diagnostics(self.rows, self.cols, f"shape {self.rows}x{self.cols}")
+        if diags:
+            raise InvariantViolation(diags, "CrossbarShape")
 
     @property
     def cells(self) -> int:
@@ -193,24 +204,40 @@ class HardwareConfig:
     area_pe_overhead_um2: float = 1500.0
 
     def __post_init__(self) -> None:
-        if self.weight_bits <= 0 or self.input_bits <= 0:
-            raise ValueError("weight_bits and input_bits must be positive")
-        if self.cell_bits <= 0 or self.weight_bits % self.cell_bits != 0:
-            raise ValueError(
-                "weight_bits must be a positive multiple of cell_bits "
-                f"(got {self.weight_bits} / {self.cell_bits})"
+        # Construction-time validation reuses the CFG001-CFG003 rule
+        # implementations of repro.analysis.invariants verbatim; the
+        # static checker (`repro check --config`) runs the same functions
+        # over serialized dicts, so the two can never disagree.
+        diags = config_value_diagnostics(
+            weight_bits=self.weight_bits,
+            input_bits=self.input_bits,
+            cell_bits=self.cell_bits,
+            dac_bits=self.dac_bits,
+            adc_bits=self.adc_bits,
+            pes_per_tile=self.pes_per_tile,
+            tiles_per_bank=self.tiles_per_bank,
+            adc_sharing=self.adc_sharing,
+        )
+        if diags:
+            raise InvariantViolation(diags, "HardwareConfig")
+
+    def validate_for_candidates(self, shapes: Iterable[CrossbarShape]) -> None:
+        """Reject an ADC resolution inconsistent with the candidate rows.
+
+        CFG004 needs the crossbar shapes the platform will drive, which a
+        config alone does not know — call this wherever a (config,
+        candidate-set) pair is fixed, e.g. at search-environment
+        construction.  Raises :class:`InvariantViolation` on breach.
+        """
+        diags = [
+            d
+            for shape in shapes
+            for d in adc_resolution_diagnostics(
+                self.adc_bits, shape.rows, self.cell_bits, f"shape {shape}"
             )
-        if self.dac_bits <= 0 or self.input_bits % self.dac_bits != 0:
-            raise ValueError(
-                "input_bits must be a positive multiple of dac_bits "
-                f"(got {self.input_bits} / {self.dac_bits})"
-            )
-        if self.adc_bits <= 0:
-            raise ValueError("adc_bits must be positive")
-        if self.pes_per_tile <= 0 or self.tiles_per_bank <= 0:
-            raise ValueError("hierarchy counts must be positive")
-        if self.adc_sharing <= 0:
-            raise ValueError("adc_sharing must be positive")
+        ]
+        if diags:
+            raise InvariantViolation(diags, "HardwareConfig")
 
     # ------------------------------------------------------------------
     # Derived organisation

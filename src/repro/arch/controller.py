@@ -57,7 +57,7 @@ class Instruction:
         return " ".join(parts)
 
 
-@dataclass
+@dataclass  # stateful: accumulates the emitted instruction stream
 class GlobalController:
     """Generates the instruction stream for mapping and inference."""
 

@@ -16,7 +16,7 @@ import numpy as np
 from .config import CrossbarShape
 
 
-@dataclass
+@dataclass  # stateful: holds programmed conductances between MVMs
 class Crossbar:
     """One physical ReRAM array of shape ``rows x cols``."""
 

@@ -23,7 +23,7 @@ from .crossbar import Crossbar
 from .peripherals import ADCArray, DACArray, ShiftAdder
 
 
-@dataclass
+@dataclass  # stateful: owns mutable bit-slice crossbars and peripherals
 class ProcessingElement:
     """One logical crossbar: bit-slice group + peripherals."""
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 
-@dataclass
+@dataclass  # stateful: counts conversion activity for the energy model
 class DACArray:
     """A bank of 1-bit (by default) wordline drivers.
 
@@ -39,7 +39,7 @@ class DACArray:
         return plane.astype(np.float64)
 
 
-@dataclass
+@dataclass  # stateful: counts conversion activity for the energy model
 class ADCArray:
     """A bank of saturating analog-to-digital converters.
 
@@ -73,7 +73,7 @@ class ADCArray:
         return np.clip(codes, 0, self.max_code)
 
 
-@dataclass
+@dataclass  # stateful: accumulates shifted partial sums
 class ShiftAdder:
     """Shift-and-add accumulator merging bit-serial / bit-sliced samples.
 
@@ -100,7 +100,7 @@ class ShiftAdder:
         return self._acc.copy()
 
 
-@dataclass
+@dataclass  # stateful: accumulates partial-sum merge activity
 class AdderTree:
     """Merges partial sums from multiple crossbar row-groups."""
 
@@ -115,7 +115,7 @@ class AdderTree:
         return p.sum(axis=0)
 
 
-@dataclass
+@dataclass  # stateful: accumulates pooling activity
 class PoolingModule:
     """The tile's pooling unit (max / average)."""
 

@@ -34,7 +34,7 @@ class BlockAssignment:
     cols_used: int
 
 
-@dataclass
+@dataclass  # stateful: tracks per-PE block assignments during mapping
 class HardwareTile:
     """A tile instance with per-PE block bookkeeping."""
 

@@ -8,11 +8,15 @@ Commands
                VGG16) on the behavioral simulator.
 ``experiment`` regenerate one paper figure/table by name.
 ``models``     list the available workloads.
+``check``      statically verify configs, candidate shapes, model
+               mappings, allocation plans, and the source tree; exits
+               nonzero on ERROR diagnostics (docs/static_analysis.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 from .arch.config import DEFAULT_CANDIDATES, SQUARE_CANDIDATES, CrossbarShape
@@ -118,11 +122,156 @@ def build_parser() -> argparse.ArgumentParser:
              "(.json or .csv, by extension; flat-record experiments only)",
     )
 
+    p_check = sub.add_parser(
+        "check",
+        help="statically verify configs / mappings / plans / source",
+        description=(
+            "Run the repro.analysis static verification passes. With no "
+            "flags, checks the default platform, the default candidate "
+            "set, and the source tree. Exits 1 if any ERROR diagnostic "
+            "is found; see docs/static_analysis.md for the rule catalogue."
+        ),
+    )
+    p_check.add_argument(
+        "--config", default=None, metavar="PATH",
+        help="JSON HardwareConfig (full or partial) to verify",
+    )
+    p_check.add_argument(
+        "--shapes", default=None, metavar="LIST",
+        help="comma-separated crossbar candidates to verify, e.g. '35x32,64x64'",
+    )
+    p_check.add_argument(
+        "--model", default=None, metavar="NAME",
+        help="workload whose graph (and mapping, with --strategy) to verify",
+    )
+    p_check.add_argument(
+        "--strategy", default=None, metavar="PATH",
+        help="JSON strategy file mapped+allocated statically against --model",
+    )
+    p_check.add_argument(
+        "--plan", default=None, metavar="PATH",
+        help="JSON allocation-plan document to verify (see repro.serialize)",
+    )
+    p_check.add_argument(
+        "--source", nargs="?", const="", default=None, metavar="DIR",
+        help="run the project AST lint rules over a source tree "
+        "(default: the installed repro package)",
+    )
+    p_check.add_argument(
+        "--no-tile-shared", action="store_true",
+        help="skip Algorithm 1 when allocating --model/--strategy",
+    )
+
     sub.add_parser("models", help="list available workloads")
     return parser
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the static verification passes and report diagnostics."""
+    import json
+    from pathlib import Path
+
+    from .analysis.checkers import (
+        check_candidate_set,
+        check_config,
+        check_config_dict,
+        check_mappings,
+        check_network,
+        check_plan_dict,
+    )
+    from .analysis.invariants import Report
+    from .analysis.lint import lint_tree
+    from .arch.config import DEFAULT_CONFIG
+    from .arch.mapping import map_layer
+    from .core.allocation import allocate_tile_based, apply_tile_sharing
+    from .serialize import load_plan_dict, load_strategy
+
+    def load_input(what, loader):
+        try:
+            return loader()
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"check: cannot load {what}: {exc}") from exc
+
+    report = Report()
+    targeted = any(
+        v is not None
+        for v in (args.config, args.shapes, args.model, args.plan, args.source)
+    )
+
+    shapes = (
+        load_input(
+            f"--shapes {args.shapes!r}",
+            lambda: tuple(CrossbarShape.parse(t) for t in args.shapes.split(",")),
+        )
+        if args.shapes
+        else DEFAULT_CANDIDATES
+    )
+    if args.shapes or not targeted:
+        print(f"checking candidate set: {', '.join(map(str, shapes))}")
+        report.extend(check_candidate_set(shapes))
+
+    if args.config:
+        print(f"checking config: {args.config}")
+        report.extend(
+            check_config_dict(
+                load_input(
+                    args.config, lambda: json.loads(Path(args.config).read_text())
+                ),
+                shapes,
+            )
+        )
+    elif not targeted:
+        print("checking default platform config")
+        report.extend(check_config(DEFAULT_CONFIG, shapes))
+
+    if args.model:
+        network = get_model(args.model)
+        print(f"checking model graph: {network.name}")
+        report.extend(check_network(network))
+        if args.strategy:
+            strategy = load_input(
+                args.strategy, lambda: load_strategy(args.strategy)
+            )
+            if len(strategy) != network.num_layers:
+                raise SystemExit(
+                    f"strategy length {len(strategy)} != "
+                    f"{network.num_layers} layers of {network.name}"
+                )
+            print(f"checking mapping + allocation plan: {args.strategy}")
+            mappings = [
+                map_layer(layer, shape)
+                for layer, shape in zip(network.layers, strategy)
+            ]
+            report.extend(check_mappings(mappings))
+            allocation = allocate_tile_based(
+                mappings, DEFAULT_CONFIG.logical_xbars_per_tile
+            )
+            if not args.no_tile_shared:
+                allocation = apply_tile_sharing(allocation)
+            report.extend(allocation.check())
+    elif args.strategy:
+        raise SystemExit("--strategy requires --model")
+
+    if args.plan:
+        print(f"checking allocation plan: {args.plan}")
+        report.extend(
+            check_plan_dict(load_input(args.plan, lambda: load_plan_dict(args.plan)))
+        )
+
+    if args.source is not None or not targeted:
+        root = Path(args.source) if args.source else None
+        print(f"linting source tree: {root or 'repro package'}")
+        report.extend(lint_tree(root))
+
+    print(report.format())
+    if report.ok:
+        print("check passed")
+    return report.exit_code
+
+
 def cmd_search(args: argparse.Namespace) -> int:
+    if args.verbose:
+        logging.basicConfig(level=logging.INFO, format="%(message)s", stream=sys.stdout)
     network = get_model(args.model)
     candidates = (
         tuple(CrossbarShape.parse(t) for t in args.candidates.split(","))
@@ -182,6 +331,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_baselines(args)
     if args.command == "models":
         return cmd_models(args)
+    if args.command == "check":
+        return cmd_check(args)
     if args.command == "experiment":
         if getattr(args, "export", None):
             return cmd_experiment_export(args)

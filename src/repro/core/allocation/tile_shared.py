@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ...analysis.invariants import ALC001, ALC006, InvariantViolation
+from ...arch.config import CrossbarShape
 from .tiles import Allocation, Tile
 
 
@@ -71,16 +73,45 @@ def apply_tile_sharing(allocation: Allocation) -> Allocation:
         t.tile_id: t.clone() for t in allocation.tiles if t.occupied > 0
     }
     comb_map: dict[int, tuple[int, ...]] = {}
-    groups: dict = {}
+    groups: dict[CrossbarShape, list[Tile]] = {}
     for tile in by_id.values():
         groups.setdefault(tile.shape, []).append(tile)
     released: set[int] = set()
-    for shape, group in groups.items():
+    for group in groups.values():
         plan = plan_tile_sharing(group, allocation.tile_capacity)
         for head_id, tail_ids in plan.items():
             head = by_id[head_id]
             for tail_id in tail_ids:
                 tail = by_id[tail_id]
+                if tail_id in released:
+                    raise InvariantViolation(
+                        [
+                            ALC006.diag(
+                                f"tile {tail_id}",
+                                "planned for absorption twice",
+                                hint="the comb plan double-books a released tile",
+                            )
+                        ],
+                        "apply_tile_sharing",
+                    )
+                # Check the whole merge fits *before* moving anything, so a
+                # bad plan raises instead of leaving occupancy counters
+                # half-updated (the Diagnostic-backed Tile.add below would
+                # otherwise fire mid-move).
+                if tail.occupied > head.empty:
+                    raise InvariantViolation(
+                        [
+                            ALC001.diag(
+                                f"tile {head.tile_id}",
+                                f"cannot absorb tile {tail_id}: "
+                                f"{tail.occupied} crossbars vs {head.empty} "
+                                "free slots",
+                                hint="Algorithm 1 only merges when "
+                                "head.empty + tail.empty >= capacity",
+                            )
+                        ],
+                        "apply_tile_sharing",
+                    )
                 for layer_index, count in tail.occupants.items():
                     head.add(layer_index, count)
                 tail.occupants.clear()

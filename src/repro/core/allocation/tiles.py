@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ...analysis.invariants import ALC001, ALC005, InvariantViolation
 from ...arch.config import CrossbarShape
 from ...arch.mapping import LayerMapping
 
@@ -35,9 +36,15 @@ class Tile:
         if self.capacity <= 0:
             raise ValueError("tile capacity must be positive")
         if self.occupied > self.capacity:
-            raise ValueError(
-                f"tile {self.tile_id} over capacity: "
-                f"{self.occupied} > {self.capacity}"
+            raise InvariantViolation(
+                [
+                    ALC001.diag(
+                        f"tile {self.tile_id}",
+                        f"over capacity: {self.occupied} > {self.capacity}",
+                        hint="re-run the allocator; this tile was overfilled",
+                    )
+                ],
+                "Tile",
             )
 
     @property
@@ -56,13 +63,35 @@ class Tile:
         return tuple(sorted(self.occupants))
 
     def add(self, layer_index: int, count: int) -> None:
-        """Place ``count`` crossbars of ``layer_index`` into this tile."""
+        """Place ``count`` crossbars of ``layer_index`` into this tile.
+
+        Raises :class:`InvariantViolation` (ALC005 / ALC001) *before*
+        mutating, so a failed placement can never corrupt the occupancy
+        counters.
+        """
         if count <= 0:
-            raise ValueError("count must be positive")
+            raise InvariantViolation(
+                [
+                    ALC005.diag(
+                        f"tile {self.tile_id}",
+                        f"count must be positive, got {count}",
+                        hint="never record empty occupant entries",
+                    )
+                ],
+                "Tile.add",
+            )
         if count > self.empty:
-            raise ValueError(
-                f"tile {self.tile_id} cannot absorb {count} crossbars "
-                f"(only {self.empty} free)"
+            raise InvariantViolation(
+                [
+                    ALC001.diag(
+                        f"tile {self.tile_id}",
+                        f"cannot absorb {count} crossbars "
+                        f"(only {self.empty} free)",
+                        hint="Algorithm 1 only merges when "
+                        "head.empty + tail.empty >= capacity",
+                    )
+                ],
+                "Tile.add",
             )
         self.occupants[layer_index] = self.occupants.get(layer_index, 0) + count
 
@@ -145,26 +174,23 @@ class Allocation:
         return groups
 
     def validate(self) -> None:
-        """Check structural invariants; raises ``AssertionError`` on breach."""
-        for tile in self.tiles:
-            assert tile.occupied <= tile.capacity, f"tile {tile.tile_id} overfull"
-            assert all(n > 0 for n in tile.occupants.values())
-        # Every layer's crossbars are fully placed.
-        placed: dict[int, int] = {}
-        for tile in self.tiles:
-            for layer_index, count in tile.occupants.items():
-                placed[layer_index] = placed.get(layer_index, 0) + count
-        for mapping in self.mappings:
-            idx = mapping.layer.index
-            assert placed.get(idx, 0) == mapping.num_crossbars, (
-                f"layer {idx}: placed {placed.get(idx, 0)} of "
-                f"{mapping.num_crossbars} crossbars"
-            )
-        # Tiles never mix crossbar geometries with their occupants' mapping.
-        by_index = {m.layer.index: m for m in self.mappings}
-        for tile in self.tiles:
-            for layer_index in tile.occupants:
-                assert by_index[layer_index].shape == tile.shape, (
-                    f"layer {layer_index} mapped to {by_index[layer_index].shape} "
-                    f"but stored in a {tile.shape} tile"
-                )
+        """Check every structural invariant of the plan.
+
+        Delegates to the rule implementations in
+        :func:`repro.analysis.checkers.check_allocation` (ALC001-ALC007)
+        and raises :class:`~repro.analysis.invariants.InvariantViolation`
+        carrying the full diagnostic list — rule ids, locations, and fix
+        hints — instead of a bare assert.
+        """
+        self.check().raise_if_errors("Allocation")
+
+    def check(self):
+        """All plan diagnostics as a :class:`~repro.analysis.invariants.Report`
+        (non-raising form of :meth:`validate`)."""
+        # Imported lazily: checkers imports this module for type context.
+        from ...analysis.checkers import check_allocation
+        from ...analysis.invariants import Report
+
+        report = Report()
+        report.extend(check_allocation(self))
+        return report

@@ -10,8 +10,9 @@ strategy seen becomes the final configuration.
 
 from __future__ import annotations
 
+import logging
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..arch.config import CrossbarShape, DEFAULT_CANDIDATES
@@ -20,6 +21,10 @@ from ..sim.metrics import SystemMetrics
 from ..sim.simulator import Simulator, Strategy
 from .rl.ddpg import DDPGAgent, DDPGConfig
 from .rl.environment import CrossbarSearchEnv, RewardFn, reward_rue
+
+#: Progress logging for verbose searches; the CLI attaches a stdout
+#: handler (library code never prints — lint rule LNT001).
+_LOG = logging.getLogger("repro.search")
 
 
 @dataclass(frozen=True)
@@ -158,9 +163,13 @@ class AutoHet:
                 best = (result.strategy, result.metrics)
             best_curve.append(best_reward)
             if verbose and (episode + 1) % max(rounds // 10, 1) == 0:
-                print(
-                    f"  round {episode + 1:>4}/{rounds}: reward={result.reward:.3e} "
-                    f"best={best_reward:.3e} sigma={agent.noise.sigma:.3f}"
+                _LOG.info(
+                    "  round %4d/%d: reward=%.3e best=%.3e sigma=%.3f",
+                    episode + 1,
+                    rounds,
+                    result.reward,
+                    best_reward,
+                    agent.noise.sigma,
                 )
 
         assert best is not None

@@ -24,6 +24,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ...analysis.checkers import check_mappings, check_network
+from ...analysis.invariants import Report
 from ...arch.config import CrossbarShape
 from ...arch.mapping import map_layer
 from ...models.graph import Network
@@ -79,6 +81,13 @@ class CrossbarSearchEnv:
         self.network = network
         self.candidates = tuple(candidates)
         self.simulator = simulator if simulator is not None else Simulator()
+        # Static gate: a broken model graph or an ADC that cannot resolve
+        # the candidate rows would poison every episode — reject now,
+        # before the search burns simulator rollouts (NET*/CFG004 rules).
+        report = Report()
+        report.extend(check_network(network))
+        report.raise_if_errors(f"CrossbarSearchEnv({network.name})")
+        self.simulator.config.validate_for_candidates(self.candidates)
         self.tile_shared = tile_shared
         self.reward_fn = reward_fn
         self._norms = self._feature_norms()
@@ -186,6 +195,18 @@ class CrossbarSearchEnv:
         if len(self._pending) != self.num_layers:
             raise RuntimeError("episode not complete")
         strategy = tuple(self.candidates[i] for i in self._pending)
+        # Validate the mapped plan statically before handing it to the
+        # simulator: an Eq. 4 breach (MAP001-MAP003) means corrupt mapping
+        # arithmetic, and feedback computed from it would train the agent
+        # on garbage.  The map_layer results are lru-cached, so this costs
+        # arithmetic only.
+        mappings = [
+            map_layer(layer, shape)
+            for layer, shape in zip(self.network.layers, strategy)
+        ]
+        report = Report()
+        report.extend(check_mappings(mappings))
+        report.raise_if_errors(f"episode strategy on {self.network.name}")
         metrics = self.simulator.evaluate(
             self.network, strategy, tile_shared=self.tile_shared, detailed=False
         )

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from .arch.config import CrossbarShape, HardwareConfig
+from .core.allocation.tiles import Allocation
 from .core.autohet import SearchResult
 from .sim.metrics import SystemMetrics
 
@@ -69,6 +70,53 @@ def save_config(config: HardwareConfig, path: str | Path) -> None:
 
 def load_config(path: str | Path) -> HardwareConfig:
     return config_from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# Allocation plans
+# ----------------------------------------------------------------------
+def plan_to_dict(allocation: Allocation) -> dict[str, Any]:
+    """An :class:`Allocation` as the JSON plan document ``repro check
+    --plan`` verifies (see
+    :func:`repro.analysis.checkers.check_plan_dict` for the schema)."""
+    return {
+        "tile_capacity": allocation.tile_capacity,
+        "layers": [
+            {
+                "index": m.layer.index,
+                "shape": str(m.shape),
+                "num_crossbars": m.num_crossbars,
+            }
+            for m in allocation.mappings
+        ],
+        "tiles": [
+            {
+                "tile_id": t.tile_id,
+                "shape": str(t.shape),
+                "capacity": t.capacity,
+                "occupants": {str(k): v for k, v in sorted(t.occupants.items())},
+                "absorbed": list(t.absorbed),
+            }
+            for t in allocation.tiles
+        ],
+        "comb_map": {
+            str(head): list(tails)
+            for head, tails in sorted(allocation.comb_map.items())
+        },
+    }
+
+
+def save_plan(allocation: Allocation, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(plan_to_dict(allocation), indent=2))
+
+
+def load_plan_dict(path: str | Path) -> dict[str, Any]:
+    """Load a plan document as a plain dict (validation is the checker's
+    job — a broken plan must be *reportable*, not un-loadable)."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"plan file {path} does not hold a JSON object")
+    return data
 
 
 # ----------------------------------------------------------------------

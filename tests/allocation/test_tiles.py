@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.analysis import InvariantViolation
 from repro.arch.config import CrossbarShape
 from repro.arch.mapping import map_layer
 from repro.core.allocation import Allocation, Tile, allocate_tile_based
@@ -104,8 +105,9 @@ class TestAllocation:
             tiles=alloc.tiles[:-1],
             tile_capacity=alloc.tile_capacity,
         )
-        with pytest.raises(AssertionError):
+        with pytest.raises(InvariantViolation) as exc:
             broken.validate()
+        assert "ALC003" in exc.value.rule_ids
 
     def test_validate_detects_shape_mismatch(self):
         alloc = small_allocation()
@@ -116,5 +118,6 @@ class TestAllocation:
             tiles=alloc.tiles + (rogue,),
             tile_capacity=4,
         )
-        with pytest.raises(AssertionError):
+        with pytest.raises(InvariantViolation) as exc:
             broken.validate()
+        assert "ALC004" in exc.value.rule_ids

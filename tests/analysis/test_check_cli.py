@@ -1,0 +1,145 @@
+"""End-to-end tests for the ``repro check`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.arch.config import CrossbarShape
+from repro.arch.mapping import map_layer
+from repro.cli import main
+from repro.core.allocation import allocate_tile_based, apply_tile_sharing
+from repro.models.zoo import lenet
+from repro.serialize import save_plan, save_strategy
+
+
+class TestCheckDefaults:
+    def test_default_invocation_passes(self, capsys):
+        assert main(["check"]) == 0
+        out = capsys.readouterr().out
+        assert "check passed" in out
+
+    def test_good_shapes_pass(self, capsys):
+        assert main(["check", "--shapes", "32x32,36x32,576x512"]) == 0
+
+    def test_bad_shape_fails_with_rule_id(self, capsys):
+        # The acceptance fixture: a 35-row RXB.
+        assert main(["check", "--shapes", "35x32"]) == 1
+        assert "SHP002" in capsys.readouterr().out
+
+
+class TestCheckConfig:
+    def test_good_config_file(self, tmp_path, capsys):
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps({"adc_bits": 10, "weight_bits": 8}))
+        assert main(["check", "--config", str(path)]) == 0
+
+    def test_broken_config_file_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps({"weight_bits": 7, "cell_bits": 2}))
+        assert main(["check", "--config", str(path)]) == 1
+        assert "CFG002" in capsys.readouterr().out
+
+    def test_config_checked_against_shapes(self, tmp_path, capsys):
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps({"adc_bits": 6}))
+        assert main(["check", "--config", str(path), "--shapes", "576x512"]) == 1
+        assert "CFG004" in capsys.readouterr().out
+
+
+class TestCheckModelStrategy:
+    def test_good_model_and_strategy(self, tmp_path, capsys):
+        net = lenet()
+        path = tmp_path / "strategy.json"
+        save_strategy([CrossbarShape(64, 64)] * net.num_layers, path)
+        assert main(["check", "--model", "lenet", "--strategy", str(path)]) == 0
+        assert "check passed" in capsys.readouterr().out
+
+    def test_model_alone_checks_graph(self, capsys):
+        assert main(["check", "--model", "vgg16"]) == 0
+
+    def test_strategy_without_model_rejected(self, tmp_path):
+        path = tmp_path / "strategy.json"
+        path.write_text("[]")
+        with pytest.raises(SystemExit):
+            main(["check", "--strategy", str(path)])
+
+    def test_wrong_length_strategy_rejected(self, tmp_path):
+        path = tmp_path / "strategy.json"
+        save_strategy([CrossbarShape(64, 64)], path)
+        with pytest.raises(SystemExit, match="length"):
+            main(["check", "--model", "lenet", "--strategy", str(path)])
+
+
+class TestCheckPlan:
+    def make_plan(self, tmp_path, mutate=None):
+        net = lenet()
+        mappings = [map_layer(l, CrossbarShape(64, 64)) for l in net.layers]
+        alloc = apply_tile_sharing(allocate_tile_based(mappings, 4))
+        from repro.serialize import plan_to_dict
+
+        doc = plan_to_dict(alloc)
+        if mutate:
+            mutate(doc)
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_round_tripped_plan_passes(self, tmp_path, capsys):
+        path = self.make_plan(tmp_path)
+        assert main(["check", "--plan", str(path)]) == 0
+
+    def test_over_capacity_tile_flagged(self, tmp_path, capsys):
+        def overfill(doc):
+            tile = doc["tiles"][0]
+            layer = next(iter(tile["occupants"]))
+            tile["occupants"][layer] += tile["capacity"]
+
+        path = self.make_plan(tmp_path, overfill)
+        assert main(["check", "--plan", str(path)]) == 1
+        assert "ALC001" in capsys.readouterr().out
+
+    def test_double_booked_plan_flagged(self, tmp_path, capsys):
+        def double_book(doc):
+            doc["tiles"].append(
+                {
+                    "tile_id": 999,
+                    "shape": doc["tiles"][0]["shape"],
+                    "capacity": doc["tile_capacity"],
+                    "occupants": {"0": 1},
+                }
+            )
+
+        path = self.make_plan(tmp_path, double_book)
+        assert main(["check", "--plan", str(path)]) == 1
+        assert "ALC002" in capsys.readouterr().out
+
+
+class TestCheckSource:
+    def test_source_tree_clean(self, capsys):
+        assert main(["check", "--source"]) == 0
+
+    def test_explicit_dirty_tree(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def f(x={}):\n    return x\n")
+        assert main(["check", "--source", str(tmp_path)]) == 1
+        assert "LNT002" in capsys.readouterr().out
+
+
+class TestPlanSerialization:
+    def test_save_plan_round_trips(self, tmp_path):
+        from repro.serialize import load_plan_dict
+
+        net = lenet()
+        mappings = [map_layer(l, CrossbarShape(72, 64)) for l in net.layers]
+        alloc = allocate_tile_based(mappings, 4)
+        path = tmp_path / "plan.json"
+        save_plan(alloc, path)
+        doc = load_plan_dict(path)
+        assert doc["tile_capacity"] == 4
+        assert len(doc["layers"]) == net.num_layers
+        assert sum(len(t["occupants"]) for t in doc["tiles"]) >= net.num_layers
+
+    def test_load_plan_rejects_non_object(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            __import__("repro.serialize", fromlist=["load_plan_dict"]).load_plan_dict(path)

@@ -1,0 +1,43 @@
+"""The RL search environment rejects invalid inputs statically — before
+any simulator episode runs (the point of the whole analysis subsystem)."""
+
+import pytest
+
+from repro.analysis.invariants import InvariantViolation
+from repro.arch.config import DEFAULT_CANDIDATES, HardwareConfig
+from repro.core.rl.environment import CrossbarSearchEnv
+from repro.models.datasets import CIFAR10
+from repro.models.graph import Network
+from repro.models.layers import LayerSpec, Stage
+from repro.models.zoo import lenet
+from repro.sim.simulator import Simulator
+
+
+class TestEnvironmentStaticGate:
+    def test_valid_setup_constructs(self):
+        CrossbarSearchEnv(lenet(), DEFAULT_CANDIDATES, Simulator())
+
+    def test_under_resolved_adc_rejected_at_construction(self):
+        sim = Simulator(config=HardwareConfig(adc_bits=6))
+        with pytest.raises(InvariantViolation) as exc:
+            CrossbarSearchEnv(lenet(), DEFAULT_CANDIDATES, sim)
+        assert "CFG004" in exc.value.rule_ids
+
+    def test_dangling_network_rejected_at_construction(self):
+        layers = [
+            LayerSpec.conv(3, 16, 3, input_size=32).with_index(0),
+            LayerSpec.conv(57, 16, 3, input_size=32).with_index(1),
+        ]
+        broken = Network(
+            name="Dangling",
+            dataset=CIFAR10,
+            stages=tuple(Stage(layer=l) for l in layers),
+        )
+        with pytest.raises(InvariantViolation) as exc:
+            CrossbarSearchEnv(broken, DEFAULT_CANDIDATES, Simulator())
+        assert "NET002" in exc.value.rule_ids
+
+    def test_valid_episode_still_runs(self):
+        env = CrossbarSearchEnv(lenet(), DEFAULT_CANDIDATES, Simulator())
+        result = env.evaluate_indices([0] * env.num_layers)
+        assert result.metrics.utilization > 0

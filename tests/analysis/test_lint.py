@@ -1,0 +1,110 @@
+"""Tests for the project AST lint rules (LNT001-LNT005)."""
+
+from pathlib import Path
+
+from repro.analysis.lint import lint_source, lint_tree
+
+
+def rule_ids(diags):
+    return sorted({d.rule_id for d in diags})
+
+
+class TestNoPrint:
+    def test_print_in_library_code_flagged(self):
+        assert rule_ids(lint_source("print('hi')\n", "sim/energy2.py")) == ["LNT001"]
+
+    def test_print_allowed_in_cli_and_bench(self):
+        assert lint_source("print('hi')\n", "cli.py") == []
+        assert lint_source("print('hi')\n", "bench/reporting.py") == []
+        assert lint_source("print('hi')\n", "__main__.py") == []
+
+    def test_print_in_docstring_not_flagged(self):
+        src = '"""Example::\n\n    print(x)\n"""\n'
+        assert lint_source(src, "models/zoo.py") == []
+
+    def test_location_carries_line_number(self):
+        diags = lint_source("x = 1\nprint(x)\n", "core/foo.py")
+        assert diags[0].location == "core/foo.py:2"
+
+
+class TestMutableDefaults:
+    def test_list_default_flagged(self):
+        assert rule_ids(lint_source("def f(x=[]):\n    pass\n", "m.py")) == ["LNT002"]
+
+    def test_dict_call_default_flagged(self):
+        assert rule_ids(
+            lint_source("def f(*, x=dict()):\n    pass\n", "m.py")
+        ) == ["LNT002"]
+
+    def test_none_default_ok(self):
+        assert lint_source("def f(x=None, y=()):\n    pass\n", "m.py") == []
+
+
+class TestFrozenDataclassDiscipline:
+    def test_unfrozen_dataclass_in_arch_flagged(self):
+        src = "from dataclasses import dataclass\n@dataclass\nclass C:\n    x: int\n"
+        assert rule_ids(lint_source(src, "arch/widget.py")) == ["LNT003"]
+
+    def test_frozen_dataclass_ok(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\nclass C:\n    x: int\n"
+        )
+        assert lint_source(src, "arch/widget.py") == []
+
+    def test_stateful_marker_ok(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass  # stateful: accumulates activity counters\n"
+            "class C:\n    x: int\n"
+        )
+        assert lint_source(src, "arch/widget.py") == []
+
+    def test_rule_scoped_to_arch(self):
+        src = "from dataclasses import dataclass\n@dataclass\nclass C:\n    x: int\n"
+        assert lint_source(src, "core/rl/widget.py") == []
+
+
+class TestFloatEquality:
+    def test_float_eq_in_energy_module_flagged(self):
+        assert rule_ids(
+            lint_source("ok = x == 0.0\n", "sim/energy.py")
+        ) == ["LNT004"]
+
+    def test_float_ne_flagged(self):
+        assert rule_ids(
+            lint_source("ok = 1.5 != y\n", "sim/latency.py")
+        ) == ["LNT004"]
+
+    def test_int_eq_ok(self):
+        assert lint_source("ok = x == 0\n", "sim/energy.py") == []
+
+    def test_float_eq_outside_cost_modules_ok(self):
+        assert lint_source("ok = x == 0.0\n", "sim/variation.py") == []
+
+    def test_inequalities_ok(self):
+        assert lint_source("ok = x >= 0.0\n", "sim/energy.py") == []
+
+
+class TestNoAssertInAllocation:
+    def test_assert_in_allocation_flagged(self):
+        assert rule_ids(
+            lint_source("assert x > 0\n", "core/allocation/tiles.py")
+        ) == ["LNT005"]
+
+    def test_assert_elsewhere_ok(self):
+        assert lint_source("assert x > 0\n", "core/rl/ddpg.py") == []
+
+
+class TestTree:
+    def test_repo_source_tree_is_clean(self):
+        """The shipped package passes its own linter — CI enforces this."""
+        assert lint_tree() == []
+
+    def test_syntax_error_reported_not_raised(self):
+        diags = lint_source("def broken(:\n", "m.py")
+        assert len(diags) == 1 and "parse" in diags[0].message
+
+    def test_lint_tree_accepts_explicit_root(self, tmp_path: Path):
+        (tmp_path / "mod.py").write_text("print('x')\n")
+        assert rule_ids(lint_tree(tmp_path)) == ["LNT001"]

@@ -1,0 +1,77 @@
+"""Property-based tests: Eq. 4 invariants over the full candidate space.
+
+These are the guarantees the static checker (MAP001-MAP003) is built on;
+hypothesis sweeps layer shapes far beyond the paper's Table 2 workloads.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.checkers import check_mapping
+from repro.arch.config import (
+    RECTANGLE_CANDIDATES,
+    SQUARE_CANDIDATES,
+    CrossbarShape,
+)
+from repro.arch.mapping import map_layer
+from repro.models.layers import LayerSpec
+
+ALL_CANDIDATES = SQUARE_CANDIDATES + RECTANGLE_CANDIDATES
+
+conv_layers = st.builds(
+    lambda cin, cout, k: LayerSpec.conv(cin, cout, k, input_size=max(k, 8)),
+    cin=st.integers(min_value=1, max_value=512),
+    cout=st.integers(min_value=1, max_value=1024),
+    k=st.sampled_from([1, 2, 3, 5, 7, 11]),
+)
+fc_layers = st.builds(
+    LayerSpec.fc,
+    st.integers(min_value=1, max_value=8192),
+    st.integers(min_value=1, max_value=4096),
+)
+layers = st.one_of(conv_layers, fc_layers)
+shapes = st.sampled_from(ALL_CANDIDATES)
+
+
+@settings(max_examples=300, deadline=None)
+@given(layer=layers, shape=shapes)
+def test_eq4_utilization_in_unit_interval(layer, shape):
+    """Eq. 4 (and its kernel-split generalisation) stays in (0, 1]."""
+    mapping = map_layer(layer, shape)
+    assert 0.0 < mapping.utilization <= 1.0
+
+
+@settings(max_examples=300, deadline=None)
+@given(layer=layers, shape=shapes)
+def test_num_crossbars_consistency(layer, shape):
+    """The occupied array always offers enough cells for the weights, and
+    the group counts are exactly Eq. 4's ceilings."""
+    mapping = map_layer(layer, shape)
+    assert mapping.num_crossbars == mapping.row_groups * mapping.col_groups
+    assert mapping.num_crossbars >= 1
+    assert mapping.total_cells >= mapping.weight_cells
+    # Column groups cover Cout; row groups cover Cin*k^2.
+    assert mapping.col_groups * shape.cols >= layer.out_channels
+    assert mapping.row_groups * shape.rows >= layer.in_channels * layer.kernel_elems
+
+
+@settings(max_examples=300, deadline=None)
+@given(layer=layers, shape=shapes)
+def test_checker_accepts_every_real_mapping(layer, shape):
+    """map_layer's output must never trip MAP001-MAP003 — the checker
+    flags corruption, not valid mappings."""
+    assert check_mapping(map_layer(layer, shape)) == []
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    layer=layers,
+    rows=st.integers(min_value=1, max_value=700),
+    cols=st.integers(min_value=1, max_value=700),
+)
+def test_eq4_bounds_hold_off_candidate_shapes(layer, rows, cols):
+    """The bounds are properties of the packing math, not of the §3.3
+    candidate discipline — arbitrary positive geometries obey them too."""
+    mapping = map_layer(layer, CrossbarShape(rows, cols))
+    assert 0.0 < mapping.utilization <= 1.0
+    assert check_mapping(mapping) == []
