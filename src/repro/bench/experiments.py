@@ -13,6 +13,7 @@ comes from the ``REPRO_RL_ROUNDS`` environment variable (falling back to
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -28,12 +29,16 @@ from ..core.allocation import allocate_tile_based, layer_empty_fraction
 from ..core.autohet import SearchResult, autohet_search
 from ..core.search import (
     best_homogeneous,
+    greedy_reward_strategy,
     manual_hetero_strategy,
     ratio_candidates,
+    simulated_annealing,
     sized_candidates,
 )
 from ..models import LayerSpec, Network, alexnet, resnet152, vgg16
 from ..models.layers import LayerType
+from ..models.zoo import get_model
+from ..sim.cache import CacheStats
 from ..sim.metrics import SystemMetrics
 from ..sim.simulator import Simulator
 from .reporting import normalize_series, print_table
@@ -530,10 +535,21 @@ def search_time_profile(
     *,
     rounds: int | None = None,
     seed: int = 0,
+    cached: bool = False,
 ) -> SearchResult:
-    """Run the VGG16 search and report the decision/simulator time split."""
+    """Run the VGG16 search and report the decision/simulator time split.
+
+    Defaults to the *uncached* reference simulator so the §4.5 claim —
+    simulator feedback dominates the search — stays reproducible.  Pass
+    ``cached=True`` for the production configuration (evaluation cache +
+    memoised costs); the result then carries non-``None``
+    :attr:`~repro.core.autohet.SearchResult.cache_stats`.
+    """
     rounds = rounds if rounds is not None else default_rounds()
-    return autohet_search(vgg16(), DEFAULT_CANDIDATES, rounds=rounds, seed=seed)
+    sim = Simulator() if cached else Simulator(cache=None, memoize_costs=False)
+    return autohet_search(
+        vgg16(), DEFAULT_CANDIDATES, rounds=rounds, simulator=sim, seed=seed
+    )
 
 
 def print_search_time(result: SearchResult) -> None:
@@ -548,4 +564,131 @@ def print_search_time(result: SearchResult) -> None:
              f"{result.learning_seconds / result.total_seconds:.1%}"),
         ],
         title=f"§4.5 — search time, {result.rounds} rounds (VGG16)",
+    )
+    if result.cache_stats is not None:
+        print(f"  {result.cache_stats.summary()}")
+    print(
+        f"  seed episodes: {result.seed_episodes}, "
+        f"infeasible episodes: {result.infeasible_episodes}"
+    )
+
+
+# ======================================================================
+# Evaluation-cache speedup: cached vs reference simulator hot path
+# ======================================================================
+def bench_model() -> str:
+    """Model for the cache benchmark (env-overridable for CI smoke runs)."""
+    return os.environ.get("REPRO_BENCH_MODEL", "vgg16")
+
+
+@dataclass(frozen=True)
+class CacheComparison:
+    """One search algorithm timed on the cold vs cached simulator."""
+
+    label: str
+    model: str
+    uncached_seconds: float
+    cached_seconds: float
+    identical: bool           #: cached run reproduced the cold result bit-for-bit
+    infeasible: int           #: infeasible evaluations seen by the cached run
+    cache_stats: CacheStats
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.uncached_seconds / self.cached_seconds
+            if self.cached_seconds
+            else 0.0
+        )
+
+
+def search_cache_profile(
+    *,
+    model: str | None = None,
+    annealing_rounds: int = 300,
+    seed: int = 0,
+) -> list[CacheComparison]:
+    """Time annealing + coordinate ascent on cold vs cached simulators.
+
+    The cached configuration must reproduce the cold (reference) results
+    bit-for-bit — :attr:`CacheComparison.identical` records the check —
+    while the evaluation cache, memoised layer costs, and the aggregate
+    allocation summary remove the simulator bottleneck (§4.5).
+    """
+    name = model if model is not None else bench_model()
+    net = get_model(name)
+    comparisons: list[CacheComparison] = []
+
+    def cold_sim() -> Simulator:
+        return Simulator(cache=None, memoize_costs=False)
+
+    # --- simulated annealing -----------------------------------------
+    t0 = time.perf_counter()
+    cold = simulated_annealing(
+        net, DEFAULT_CANDIDATES, cold_sim(), rounds=annealing_rounds, seed=seed
+    )
+    t1 = time.perf_counter()
+    warm_sim = Simulator()
+    warm = simulated_annealing(
+        net, DEFAULT_CANDIDATES, warm_sim, rounds=annealing_rounds, seed=seed
+    )
+    t2 = time.perf_counter()
+    comparisons.append(
+        CacheComparison(
+            label="annealing",
+            model=name,
+            uncached_seconds=t1 - t0,
+            cached_seconds=t2 - t1,
+            identical=(cold.strategy == warm.strategy
+                       and cold.metrics == warm.metrics),
+            infeasible=warm.infeasible,
+            cache_stats=warm_sim.cache_stats(),
+        )
+    )
+
+    # --- coordinate ascent (greedy on the global reward) --------------
+    t0 = time.perf_counter()
+    cold_strategy = greedy_reward_strategy(net, DEFAULT_CANDIDATES, cold_sim())
+    t1 = time.perf_counter()
+    warm_sim = Simulator()
+    stats: dict[str, int] = {}
+    warm_strategy = greedy_reward_strategy(
+        net, DEFAULT_CANDIDATES, warm_sim, stats=stats
+    )
+    t2 = time.perf_counter()
+    same = cold_strategy == warm_strategy and (
+        cold_sim().evaluate(net, cold_strategy)
+        == Simulator(cache=None).evaluate(net, warm_strategy)
+    )
+    comparisons.append(
+        CacheComparison(
+            label="coordinate-ascent",
+            model=name,
+            uncached_seconds=t1 - t0,
+            cached_seconds=t2 - t1,
+            identical=same,
+            infeasible=stats.get("infeasible", 0),
+            cache_stats=warm_sim.cache_stats(),
+        )
+    )
+    return comparisons
+
+
+def print_search_cache(comparisons: list[CacheComparison]) -> None:
+    print_table(
+        ["search", "cold_s", "cached_s", "speedup", "identical",
+         "hit_rate", "infeasible"],
+        [
+            (
+                c.label,
+                f"{c.uncached_seconds:.3f}",
+                f"{c.cached_seconds:.3f}",
+                f"{c.speedup:.1f}x",
+                c.identical,
+                f"{c.cache_stats.hit_rate:.1%}",
+                c.infeasible,
+            )
+            for c in comparisons
+        ],
+        title=f"Evaluation cache — search speedup ({comparisons[0].model})",
     )

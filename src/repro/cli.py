@@ -35,16 +35,18 @@ from .bench import (
     print_fig9,
     print_fig10,
     print_fig11,
+    print_search_cache,
     print_search_time,
     print_table3,
     print_table4,
     print_table5,
+    search_cache_profile,
     search_time_profile,
     table3_strategies,
     table4_tiles,
     table5_area_latency,
 )
-from .core.autohet import autohet_search
+from .core.autohet import autohet_multi_seed, autohet_search
 from .core.search import manual_hetero_strategy
 from .models.zoo import _MODEL_BUILDERS, get_model
 from .sim.simulator import Simulator
@@ -77,6 +79,7 @@ EXPERIMENTS = {
     "search-time": lambda a: print_search_time(
         search_time_profile(rounds=a.rounds, seed=a.seed)
     ),
+    "cache": lambda a: print_search_cache(search_cache_profile(seed=a.seed)),
     "all": lambda a: _run_all(a),
 }
 
@@ -99,6 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("model", help="workload name (see `models`)")
     p_search.add_argument("--rounds", type=int, default=300)
     p_search.add_argument("--seed", type=int, default=0)
+    p_search.add_argument(
+        "--seeds", default=None, metavar="LIST",
+        help="comma-separated RL seeds for a multi-seed search sharing one "
+             "evaluation cache, e.g. '0,1,2' (overrides --seed)",
+    )
+    p_search.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool size for the multi-seed fan-out (with --seeds)",
+    )
     p_search.add_argument(
         "--no-tile-shared", action="store_true",
         help="disable the tile-shared allocation scheme",
@@ -278,14 +290,31 @@ def cmd_search(args: argparse.Namespace) -> int:
         if args.candidates
         else DEFAULT_CANDIDATES
     )
-    result = autohet_search(
-        network,
-        candidates,
-        rounds=args.rounds,
-        tile_shared=not args.no_tile_shared,
-        seed=args.seed,
-        verbose=args.verbose,
-    )
+    if args.seeds:
+        seeds = tuple(int(s) for s in args.seeds.split(","))
+        result, per_seed = autohet_multi_seed(
+            network,
+            candidates,
+            seeds=seeds,
+            rounds=args.rounds,
+            tile_shared=not args.no_tile_shared,
+            max_workers=args.workers,
+            verbose=args.verbose,
+        )
+        print(
+            f"multi-seed search over seeds {', '.join(map(str, seeds))}: "
+            f"best RUE per seed = "
+            f"{', '.join(f'{r.best_metrics.rue:.3e}' for r in per_seed)}"
+        )
+    else:
+        result = autohet_search(
+            network,
+            candidates,
+            rounds=args.rounds,
+            tile_shared=not args.no_tile_shared,
+            seed=args.seed,
+            verbose=args.verbose,
+        )
     print(result.summary())
     m = result.best_metrics
     print(
@@ -294,8 +323,11 @@ def cmd_search(args: argparse.Namespace) -> int:
     )
     print(
         f"  search: {result.total_seconds:.1f}s "
-        f"({result.simulator_fraction:.0%} simulator feedback)"
+        f"({result.simulator_fraction:.0%} simulator feedback), "
+        f"{result.infeasible_episodes} infeasible episodes"
     )
+    if result.cache_stats is not None:
+        print(f"  {result.cache_stats.summary()}")
     return 0
 
 

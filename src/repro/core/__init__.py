@@ -1,5 +1,5 @@
 """AutoHet core: RL search, allocation schemes, and strategy producers."""
 
-from .autohet import AutoHet, SearchResult, autohet_search
+from .autohet import AutoHet, SearchResult, autohet_multi_seed, autohet_search
 
-__all__ = ["AutoHet", "SearchResult", "autohet_search"]
+__all__ = ["AutoHet", "SearchResult", "autohet_multi_seed", "autohet_search"]

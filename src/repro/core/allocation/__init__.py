@@ -11,18 +11,28 @@ from .tile_based import (
     layer_empty_fraction,
     layer_tiles_needed,
 )
+from .summary import (
+    AllocationSummary,
+    clear_summary_cache,
+    summarize_allocation,
+    summary_cache_info,
+)
 from .tile_shared import apply_tile_sharing, plan_tile_sharing
 from .tiles import Allocation, Tile
 
 __all__ = [
     "Allocation",
+    "AllocationSummary",
     "ModelSlice",
     "MultiModelAllocation",
     "Tile",
     "allocate_multi_network",
     "allocate_tile_based",
     "apply_tile_sharing",
+    "clear_summary_cache",
     "layer_empty_fraction",
     "layer_tiles_needed",
     "plan_tile_sharing",
+    "summarize_allocation",
+    "summary_cache_info",
 ]

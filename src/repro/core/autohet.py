@@ -17,8 +17,9 @@ from typing import Sequence
 
 from ..arch.config import CrossbarShape, DEFAULT_CANDIDATES
 from ..models.graph import Network
+from ..sim.cache import CacheStats
 from ..sim.metrics import SystemMetrics
-from ..sim.simulator import Simulator, Strategy
+from ..sim.simulator import CapacityError, Simulator, Strategy
 from .rl.ddpg import DDPGAgent, DDPGConfig
 from .rl.environment import CrossbarSearchEnv, RewardFn, reward_rue
 
@@ -40,6 +41,13 @@ class SearchResult:
     decision_seconds: float                   #: time in the RL agent
     simulator_seconds: float                  #: time waiting for feedback
     learning_seconds: float                   #: time in gradient updates
+    #: homogeneous warm-up episodes before the RL rounds; the histories
+    #: hold ``rounds + seed_episodes`` entries.
+    seed_episodes: int = 0
+    #: episodes whose strategy overflowed the bank (penalty reward)
+    infeasible_episodes: int = 0
+    #: evaluation-cache counters at search end (``None`` when disabled)
+    cache_stats: CacheStats | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -117,6 +125,8 @@ class AutoHet:
         rewards: list[float] = []
         best_curve: list[float] = []
         t_decide = t_sim = t_learn = 0.0
+        seed_episodes = 0
+        infeasible_before = env.infeasible_episodes
 
         if seed_homogeneous:
             for idx in range(env.num_actions):
@@ -127,8 +137,9 @@ class AutoHet:
                 t3 = time.perf_counter()
                 t_sim += t2 - t1
                 t_learn += t3 - t2
+                seed_episodes += 1
                 rewards.append(probe.reward)
-                if probe.reward > best_reward:
+                if probe.feasible and probe.reward > best_reward:
                     best_reward = probe.reward
                     best = (probe.strategy, probe.metrics)
                 best_curve.append(best_reward)
@@ -158,7 +169,7 @@ class AutoHet:
             t_sim += t2 - t1
             t_learn += t3 - t2
             rewards.append(result.reward)
-            if result.reward > best_reward:
+            if result.feasible and result.reward > best_reward:
                 best_reward = result.reward
                 best = (result.strategy, result.metrics)
             best_curve.append(best_reward)
@@ -172,7 +183,12 @@ class AutoHet:
                     agent.noise.sigma,
                 )
 
-        assert best is not None
+        if best is None:
+            raise CapacityError(
+                f"no feasible strategy in {len(rewards)} episodes on "
+                f"{self.network.name}: every strategy overflowed the bank "
+                f"({self.simulator.config.tiles_per_bank} tiles)"
+            )
         return SearchResult(
             network_name=self.network.name,
             best_strategy=best[0],
@@ -183,6 +199,9 @@ class AutoHet:
             decision_seconds=t_decide,
             simulator_seconds=t_sim,
             learning_seconds=t_learn,
+            seed_episodes=seed_episodes,
+            infeasible_episodes=env.infeasible_episodes - infeasible_before,
+            cache_stats=self.simulator.cache_stats(),
         )
 
     # ------------------------------------------------------------------
@@ -213,3 +232,53 @@ def autohet_search(
         seed=seed,
     )
     return engine.search(rounds, verbose=verbose)
+
+
+def autohet_multi_seed(
+    network: Network,
+    candidates: Sequence[CrossbarShape] = DEFAULT_CANDIDATES,
+    *,
+    seeds: Sequence[int] = (0, 1, 2),
+    rounds: int = 300,
+    tile_shared: bool = True,
+    simulator: Simulator | None = None,
+    max_workers: int | None = None,
+    verbose: bool = False,
+) -> tuple[SearchResult, tuple[SearchResult, ...]]:
+    """Run :func:`autohet_search` under several RL seeds; keep the best.
+
+    All runs share one simulator — and therefore one evaluation cache, so
+    seeds re-pay each other's homogeneous probes and revisited strategies.
+    With ``max_workers`` > 1 the runs fan out over a thread pool (the
+    cache is thread-safe; the numpy-based agents release no work to the
+    GIL, so speed-ups are modest — the cache sharing is the main win).
+
+    Returns ``(best, per_seed_results)``; ``per_seed_results`` is ordered
+    like ``seeds``.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    sim = simulator if simulator is not None else Simulator()
+
+    def run(seed: int) -> SearchResult:
+        return autohet_search(
+            network,
+            candidates,
+            rounds=rounds,
+            tile_shared=tile_shared,
+            simulator=sim,
+            seed=seed,
+            verbose=verbose,
+        )
+
+    if max_workers is not None and max_workers > 1 and len(seeds) > 1:
+        import concurrent.futures
+
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_workers
+        ) as pool:
+            results = tuple(pool.map(run, seeds))
+    else:
+        results = tuple(run(seed) for seed in seeds)
+    best = max(results, key=lambda r: r.best_metrics.reward)
+    return best, results

@@ -30,7 +30,7 @@ from ...arch.config import CrossbarShape
 from ...arch.mapping import map_layer
 from ...models.graph import Network
 from ...sim.metrics import SystemMetrics
-from ...sim.simulator import Simulator
+from ...sim.simulator import CapacityError, Simulator
 from .replay import Transition
 
 STATE_DIM = 10
@@ -56,12 +56,22 @@ def reward_energy(metrics: SystemMetrics) -> float:
 
 @dataclass
 class EpisodeResult:
-    """Everything one decision episode produced."""
+    """Everything one decision episode produced.
+
+    ``metrics`` is ``None`` for an *infeasible* episode — a strategy that
+    overflows the bank's tile budget.  The episode still carries its
+    (penalty) reward and transitions so the agent learns to avoid the
+    region instead of crashing the search.
+    """
 
     strategy: tuple[CrossbarShape, ...]
-    metrics: SystemMetrics
+    metrics: SystemMetrics | None
     reward: float
     transitions: list[Transition]
+
+    @property
+    def feasible(self) -> bool:
+        return self.metrics is not None
 
 
 class CrossbarSearchEnv:
@@ -75,6 +85,7 @@ class CrossbarSearchEnv:
         *,
         tile_shared: bool = True,
         reward_fn: RewardFn = reward_rue,
+        infeasible_reward: float = 0.0,
     ) -> None:
         if not candidates:
             raise ValueError("need at least one crossbar candidate")
@@ -90,6 +101,13 @@ class CrossbarSearchEnv:
         self.simulator.config.validate_for_candidates(self.candidates)
         self.tile_shared = tile_shared
         self.reward_fn = reward_fn
+        # Reward of an episode whose strategy overflows the bank.  With
+        # the paper's R = u / e (strictly positive), the default 0.0 is
+        # below every feasible reward — a capacity breach reads as the
+        # worst possible outcome without crashing the search.
+        self.infeasible_reward = infeasible_reward
+        #: episodes rejected for bank overflow since construction
+        self.infeasible_episodes = 0
         self._norms = self._feature_norms()
         self._pending: list[int] = []
         self._states: list[np.ndarray] = []
@@ -207,10 +225,19 @@ class CrossbarSearchEnv:
         report = Report()
         report.extend(check_mappings(mappings))
         report.raise_if_errors(f"episode strategy on {self.network.name}")
-        metrics = self.simulator.evaluate(
-            self.network, strategy, tile_shared=self.tile_shared, detailed=False
-        )
-        reward = self.reward_fn(metrics)
+        try:
+            metrics = self.simulator.evaluate(
+                self.network, strategy, tile_shared=self.tile_shared, detailed=False
+            )
+        except CapacityError:
+            # An over-budget strategy is a legitimate point of the search
+            # space, not a bug: emit a penalty episode so the agent steers
+            # away from it (and the search survives).
+            metrics = None
+            self.infeasible_episodes += 1
+            reward = self.infeasible_reward
+        else:
+            reward = self.reward_fn(metrics)
         transitions = [
             Transition(
                 state=self._states[k],

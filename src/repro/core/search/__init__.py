@@ -10,6 +10,7 @@ from .candidates import (
     square_candidates,
 )
 from .strategies import (
+    SearchOutcome,
     best_homogeneous,
     exhaustive_search,
     greedy_reward_strategy,
@@ -21,6 +22,7 @@ from .strategies import (
 
 __all__ = [
     "AnnealingSchedule",
+    "SearchOutcome",
     "simulated_annealing",
     "all_shapes",
     "hybrid_candidates",

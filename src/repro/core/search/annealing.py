@@ -22,7 +22,8 @@ import numpy as np
 from ...arch.config import CrossbarShape
 from ...models.graph import Network
 from ...sim.metrics import SystemMetrics
-from ...sim.simulator import Simulator, Strategy
+from ...sim.simulator import CapacityError, Simulator, Strategy
+from .strategies import SearchOutcome
 
 
 @dataclass(frozen=True)
@@ -51,12 +52,16 @@ def simulated_annealing(
     tile_shared: bool = True,
     schedule: AnnealingSchedule = AnnealingSchedule(),
     seed: int = 0,
-) -> tuple[Strategy, SystemMetrics]:
+) -> SearchOutcome:
     """Anneal over per-layer crossbar choices; returns the best found.
 
     Rewards are normalised by the starting strategy's reward so one
     temperature schedule works across models (reward magnitudes span
     orders of magnitude between AlexNet and ResNet152).
+
+    Infeasible proposals (bank overflow) are rejected like any bad move
+    and counted; :class:`~repro.sim.simulator.CapacityError` only
+    propagates when no uniform starting strategy fits the bank.
     """
     if rounds <= 0:
         raise ValueError("rounds must be positive")
@@ -65,20 +70,37 @@ def simulated_annealing(
     sim = simulator if simulator is not None else Simulator()
     rng = np.random.default_rng(seed)
     n = network.num_layers
+    evaluations = infeasible = 0
 
-    def evaluate(indices: list[int]) -> SystemMetrics:
+    def evaluate(indices: list[int]) -> SystemMetrics | None:
+        nonlocal evaluations, infeasible
         strategy = tuple(candidates[i] for i in indices)
-        return sim.evaluate(
+        evaluations += 1
+        metrics = sim.try_evaluate(
             network, strategy, tile_shared=tile_shared, detailed=False
         )
+        if metrics is None:
+            infeasible += 1
+        return metrics
 
-    # Start from the best uniform strategy (cheap, deterministic).
-    uniform_scores = [
-        evaluate([i] * n).reward for i in range(len(candidates))
+    # Start from the best *feasible* uniform strategy (cheap,
+    # deterministic), reusing the probe's metrics rather than paying a
+    # second evaluation of the chosen start.
+    uniform_probes = [
+        evaluate([i] * n) for i in range(len(candidates))
     ]
-    start = int(np.argmax(uniform_scores))
+    feasible_starts = [
+        (i, m) for i, m in enumerate(uniform_probes) if m is not None
+    ]
+    if not feasible_starts:
+        raise CapacityError(
+            f"no uniform starting strategy fits the bank "
+            f"({sim.config.tiles_per_bank} tiles)"
+        )
+    start, current_metrics = max(
+        feasible_starts, key=lambda pair: pair[1].reward
+    )
     current = [start] * n
-    current_metrics = evaluate(current)
     scale = abs(current_metrics.reward) or 1.0
 
     best = (tuple(current), current_metrics)
@@ -89,14 +111,17 @@ def simulated_annealing(
         choice = int(rng.integers(0, len(candidates)))
         proposal[layer] = choice
         metrics = evaluate(proposal)
-        delta = (metrics.reward - current_metrics.reward) / scale
-        if delta >= 0 or rng.random() < math.exp(delta / temperature):
-            current = proposal
-            current_metrics = metrics
-            if metrics.reward > best[1].reward:
-                best = (tuple(current), metrics)
+        if metrics is not None:
+            delta = (metrics.reward - current_metrics.reward) / scale
+            if delta >= 0 or rng.random() < math.exp(delta / temperature):
+                current = proposal
+                current_metrics = metrics
+                if metrics.reward > best[1].reward:
+                    best = (tuple(current), metrics)
         temperature = max(
             temperature * schedule.cooling, schedule.min_temperature
         )
     strategy = tuple(candidates[i] for i in best[0])
-    return strategy, best[1]
+    return SearchOutcome(
+        strategy, best[1], evaluations=evaluations, infeasible=infeasible
+    )

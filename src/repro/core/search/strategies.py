@@ -25,7 +25,59 @@ from ...arch.config import CrossbarShape
 from ...arch.mapping import map_layer
 from ...models.graph import Network
 from ...sim.metrics import SystemMetrics
-from ...sim.simulator import Simulator, Strategy
+from ...sim.simulator import CapacityError, Simulator, Strategy
+
+
+class SearchOutcome(tuple):
+    """A ``(strategy, metrics)`` pair with search statistics attached.
+
+    Subclasses ``tuple`` so existing ``strategy, metrics = search(...)``
+    unpacking keeps working, while callers that care can read how much
+    work the search did and how much of the space was infeasible
+    (strategies that overflow the bank raise
+    :class:`~repro.sim.simulator.CapacityError` inside the simulator; the
+    searches below skip them instead of crashing, and count them here).
+    """
+
+    def __new__(
+        cls,
+        strategy,
+        metrics: SystemMetrics,
+        *,
+        evaluations: int = 0,
+        infeasible: int = 0,
+    ) -> "SearchOutcome":
+        self = super().__new__(cls, (strategy, metrics))
+        return self
+
+    def __init__(
+        self,
+        strategy,
+        metrics: SystemMetrics,
+        *,
+        evaluations: int = 0,
+        infeasible: int = 0,
+    ) -> None:
+        self._evaluations = evaluations
+        self._infeasible = infeasible
+
+    @property
+    def strategy(self):
+        return self[0]
+
+    @property
+    def metrics(self) -> SystemMetrics:
+        return self[1]
+
+    @property
+    def evaluations(self) -> int:
+        """Strategies submitted to the simulator (cache hits included)."""
+        return self._evaluations
+
+    @property
+    def infeasible(self) -> int:
+        """Evaluations rejected for overflowing the bank's tile budget."""
+        return self._infeasible
 
 
 def homogeneous_strategy(network: Network, shape: CrossbarShape) -> Strategy:
@@ -79,28 +131,41 @@ def greedy_reward_strategy(
     simulator: Simulator | None = None,
     *,
     tile_shared: bool = True,
+    stats: dict[str, int] | None = None,
 ) -> Strategy:
     """Coordinate-ascent greedy on the global reward.
 
     Starts from the per-layer utilization greedy and sweeps layers once,
     replacing each layer's shape with the candidate that maximises the
     whole-model ``R = u / e``.  A cheap, strong non-RL baseline.
+
+    Candidates that overflow the bank are skipped as infeasible (a layer
+    keeps its current shape if every alternative overflows).  Pass a
+    ``stats`` dict to receive ``evaluations`` / ``infeasible`` counts.
     """
     sim = simulator if simulator is not None else Simulator()
     strategy = list(greedy_utilization_strategy(network, candidates))
+    evaluations = infeasible = 0
     for i in range(network.num_layers):
         best_shape = strategy[i]
         best_reward = -math.inf
         for shape in candidates:
             trial = list(strategy)
             trial[i] = shape
-            metrics = sim.evaluate(
+            evaluations += 1
+            metrics = sim.try_evaluate(
                 network, tuple(trial), tile_shared=tile_shared, detailed=False
             )
+            if metrics is None:
+                infeasible += 1
+                continue
             if metrics.reward > best_reward:
                 best_reward = metrics.reward
                 best_shape = shape
         strategy[i] = best_shape
+    if stats is not None:
+        stats["evaluations"] = evaluations
+        stats["infeasible"] = infeasible
     return tuple(strategy)
 
 
@@ -112,23 +177,38 @@ def random_search(
     rounds: int = 100,
     tile_shared: bool = True,
     seed: int = 0,
-) -> tuple[Strategy, SystemMetrics]:
-    """Uniform random strategies; returns the best found."""
+) -> SearchOutcome:
+    """Uniform random strategies; returns the best *feasible* one found.
+
+    Strategies that overflow the bank are counted as infeasible and
+    skipped; only when every sampled strategy overflows does the search
+    re-raise :class:`~repro.sim.simulator.CapacityError`.
+    """
     if rounds <= 0:
         raise ValueError("rounds must be positive")
     sim = simulator if simulator is not None else Simulator()
     rng = np.random.default_rng(seed)
     best: tuple[Strategy, SystemMetrics] | None = None
+    infeasible = 0
     for _ in range(rounds):
         picks = rng.integers(0, len(candidates), size=network.num_layers)
         strategy = tuple(candidates[i] for i in picks)
-        metrics = sim.evaluate(
+        metrics = sim.try_evaluate(
             network, strategy, tile_shared=tile_shared, detailed=False
         )
+        if metrics is None:
+            infeasible += 1
+            continue
         if best is None or metrics.reward > best[1].reward:
             best = (strategy, metrics)
-    assert best is not None
-    return best
+    if best is None:
+        raise CapacityError(
+            f"all {rounds} sampled strategies overflow the bank "
+            f"({sim.config.tiles_per_bank} tiles)"
+        )
+    return SearchOutcome(
+        best[0], best[1], evaluations=rounds, infeasible=infeasible
+    )
 
 
 def exhaustive_search(
@@ -138,8 +218,13 @@ def exhaustive_search(
     *,
     tile_shared: bool = True,
     limit: int = 2_000_000,
-) -> tuple[Strategy, SystemMetrics]:
-    """Brute-force oracle over the full C^N space (small models only)."""
+) -> SearchOutcome:
+    """Brute-force oracle over the full C^N space (small models only).
+
+    Infeasible combinations (bank overflow) are skipped and counted;
+    :class:`~repro.sim.simulator.CapacityError` propagates only when the
+    *entire* space is infeasible.
+    """
     space = len(candidates) ** network.num_layers
     if space > limit:
         raise ValueError(
@@ -148,14 +233,24 @@ def exhaustive_search(
         )
     sim = simulator if simulator is not None else Simulator()
     best: tuple[Strategy, SystemMetrics] | None = None
+    infeasible = 0
     for combo in itertools.product(candidates, repeat=network.num_layers):
-        metrics = sim.evaluate(
+        metrics = sim.try_evaluate(
             network, combo, tile_shared=tile_shared, detailed=False
         )
+        if metrics is None:
+            infeasible += 1
+            continue
         if best is None or metrics.reward > best[1].reward:
             best = (combo, metrics)
-    assert best is not None
-    return best
+    if best is None:
+        raise CapacityError(
+            f"all {space} strategies overflow the bank "
+            f"({sim.config.tiles_per_bank} tiles)"
+        )
+    return SearchOutcome(
+        best[0], best[1], evaluations=space, infeasible=infeasible
+    )
 
 
 def best_homogeneous(
@@ -164,11 +259,28 @@ def best_homogeneous(
     simulator: Simulator | None = None,
     *,
     tile_shared: bool = False,
-) -> tuple[CrossbarShape, SystemMetrics]:
-    """The highest-RUE homogeneous accelerator ("Best-Homo", §4.4)."""
+) -> SearchOutcome:
+    """The highest-RUE homogeneous accelerator ("Best-Homo", §4.4).
+
+    Shapes whose uniform strategy overflows the bank are skipped.
+    """
     sim = simulator if simulator is not None else Simulator()
-    scored = [
-        (shape, sim.evaluate_homogeneous(network, shape, tile_shared=tile_shared))
-        for shape in shapes
-    ]
-    return max(scored, key=lambda pair: pair[1].rue)
+    scored: list[tuple[CrossbarShape, SystemMetrics]] = []
+    infeasible = 0
+    for shape in shapes:
+        metrics = sim.try_evaluate(
+            network, homogeneous_strategy(network, shape), tile_shared=tile_shared
+        )
+        if metrics is None:
+            infeasible += 1
+            continue
+        scored.append((shape, metrics))
+    if not scored:
+        raise CapacityError(
+            f"every homogeneous strategy overflows the bank "
+            f"({sim.config.tiles_per_bank} tiles)"
+        )
+    shape, metrics = max(scored, key=lambda pair: pair[1].rue)
+    return SearchOutcome(
+        shape, metrics, evaluations=len(shapes), infeasible=infeasible
+    )

@@ -142,9 +142,11 @@ def metrics_to_dict(metrics: SystemMetrics) -> dict[str, Any]:
 
 def result_to_dict(result: SearchResult) -> dict[str, Any]:
     """A :class:`SearchResult` as a JSON-ready document."""
-    return {
+    doc: dict[str, Any] = {
         "network": result.network_name,
         "rounds": result.rounds,
+        "seed_episodes": result.seed_episodes,
+        "infeasible_episodes": result.infeasible_episodes,
         "best_strategy": strategy_to_list(result.best_strategy),
         "best_metrics": metrics_to_dict(result.best_metrics),
         "reward_history": list(result.reward_history),
@@ -155,6 +157,17 @@ def result_to_dict(result: SearchResult) -> dict[str, Any]:
             "learning_seconds": result.learning_seconds,
         },
     }
+    if result.cache_stats is not None:
+        stats = result.cache_stats
+        doc["cache"] = {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "size": stats.size,
+            "max_size": stats.max_size,
+            "hit_rate": stats.hit_rate,
+        }
+    return doc
 
 
 def save_result(result: SearchResult, path: str | Path) -> None:

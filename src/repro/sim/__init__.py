@@ -1,6 +1,12 @@
 """Behavioral ReRAM accelerator simulator (the MNSIM-role substrate)."""
 
-from .area import allocation_area_um2, crossbar_slot_area_um2, tile_area_um2
+from .area import (
+    allocation_area_um2,
+    area_from_tile_runs,
+    crossbar_slot_area_um2,
+    tile_area_um2,
+)
+from .cache import CacheStats, EvaluationCache, config_fingerprint, network_fingerprint
 from .energy import (
     layer_adc_conversions,
     layer_dac_conversions,
@@ -14,8 +20,13 @@ from .simulator import CapacityError, Simulator, Strategy
 
 __all__ = [
     "allocation_area_um2",
+    "area_from_tile_runs",
     "crossbar_slot_area_um2",
     "tile_area_um2",
+    "CacheStats",
+    "EvaluationCache",
+    "config_fingerprint",
+    "network_fingerprint",
     "layer_adc_conversions",
     "layer_dac_conversions",
     "layer_dynamic_energy",

@@ -1,0 +1,204 @@
+"""Evaluation caching for the behavioral simulator (the §4.5 hot path).
+
+The paper measures ~97% of AutoHet's search time waiting on simulator
+feedback, and every search strategy in this repo — DDPG, annealing,
+coordinate ascent, random, exhaustive — revisits whole strategies and
+per-layer shapes constantly.  Since :meth:`Simulator.evaluate
+<repro.sim.simulator.Simulator.evaluate>` is pure and deterministic, its
+results can be memoised outright:
+
+* :class:`EvaluationCache` — a bounded, thread-safe LRU over full
+  ``(config, network, strategy, tile_shared, detailed)`` evaluations,
+  with hit / miss / eviction counters.  Infeasible strategies (those that
+  raise :class:`~repro.sim.simulator.CapacityError`) are cached too, so a
+  search random-walking near a capacity cliff does not re-pay the failed
+  allocation every round.
+* stable content fingerprints for :class:`HardwareConfig` and
+  :class:`Network` so cache keys survive object identity churn.
+
+See ``docs/performance.md`` for the keying rules and usage guidance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Hashable
+
+from ..arch.config import CrossbarShape, HardwareConfig
+from ..models.graph import Network
+
+#: A cache key: every component pre-reduced to a compact hashable value.
+CacheKey = Hashable
+
+
+@lru_cache(maxsize=1024)
+def config_fingerprint(config: HardwareConfig) -> int:
+    """Stable content fingerprint of a hardware configuration.
+
+    Two configs with equal fields share a fingerprint even when they are
+    distinct objects (e.g. round-tripped through JSON).
+    """
+    return hash(config)
+
+
+@lru_cache(maxsize=1024)
+def network_fingerprint(network: Network) -> int:
+    """Stable content fingerprint of a network's search-relevant identity.
+
+    Keyed on the name plus every layer's mapping-relevant structure; two
+    structurally identical builds of the same model share a fingerprint.
+    """
+    return hash(
+        (
+            network.name,
+            tuple(
+                (
+                    layer.index,
+                    layer.layer_type,
+                    layer.in_channels,
+                    layer.out_channels,
+                    layer.kernel_elems,
+                    layer.weight_count,
+                    layer.mvm_ops,
+                )
+                for layer in network.layers
+            ),
+        )
+    )
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of one cache's counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    max_size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups; 0.0 before the first lookup."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"cache: {self.hits} hits / {self.lookups} lookups "
+            f"({self.hit_rate:.1%}), {self.size}/{self.max_size} entries, "
+            f"{self.evictions} evictions"
+        )
+
+
+class _Infeasible:
+    """Cached outcome of a strategy that overflows the bank."""
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: str) -> None:
+        self.message = message
+
+
+class EvaluationCache:
+    """Bounded LRU cache over pure simulator evaluations.
+
+    Thread-safe: :meth:`get` / :meth:`put` hold an internal lock, so one
+    cache can back :meth:`Simulator.evaluate_many
+    <repro.sim.simulator.Simulator.evaluate_many>`'s thread pool or a
+    multi-seed search fan-out.  Values are immutable
+    (:class:`~repro.sim.metrics.SystemMetrics` is frozen), so cached
+    objects are shared, never copied.
+    """
+
+    def __init__(self, max_size: int = 100_000) -> None:
+        if max_size <= 0:
+            raise ValueError("max_size must be positive")
+        self.max_size = max_size
+        self._entries: OrderedDict[CacheKey, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def make_key(
+        config: HardwareConfig,
+        network: Network,
+        strategy: tuple[CrossbarShape, ...],
+        *,
+        tile_shared: bool,
+        detailed: bool,
+        enforce_capacity: bool,
+    ) -> CacheKey:
+        """The canonical key of one evaluation.
+
+        Everything :meth:`Simulator.evaluate` reads goes in: the config
+        and network content fingerprints, the per-layer shapes, and the
+        flags that change the result (``tile_shared``, ``detailed``) or
+        the feasibility verdict (``enforce_capacity``).
+        """
+        return (
+            config_fingerprint(config),
+            network_fingerprint(network),
+            tuple((s.rows, s.cols) for s in strategy),
+            tile_shared,
+            detailed,
+            enforce_capacity,
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> object | None:
+        """The cached value, or ``None`` on a miss (counts either way)."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: CacheKey, value: object) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            if len(self._entries) >= self.max_size:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._entries[key] = value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = self._misses = self._evictions = 0
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                max_size=self.max_size,
+            )

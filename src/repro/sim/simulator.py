@@ -9,12 +9,30 @@ plays in the paper (§4.1); see DESIGN.md for the substitution rationale.
 Evaluation is pure and deterministic: map every layer (Eq. 4 math),
 allocate tiles (tile-based, optionally tile-shared per §3.4), then roll up
 the analytic energy / latency / area models.
+
+Because it is pure, evaluation is also *cacheable* — and the simulator is
+the search-time bottleneck (§4.5 reports ~97% of AutoHet's wall clock
+waiting on feedback).  Three layers attack that, all on by default:
+
+* a strategy-level :class:`~repro.sim.cache.EvaluationCache` (bounded
+  LRU, hit/miss counters) in front of :meth:`Simulator.evaluate`;
+* memoised per-``(mapping, config)`` layer energy/latency costs and an
+  aggregate allocation summary (``repro.core.allocation.summary``) below
+  it, shared across all strategies that agree on a layer's shape or a
+  tile group's composition;
+* :meth:`Simulator.evaluate_many`, a fan-out front-end with an optional
+  thread or process pool for batch evaluation.
+
+``Simulator(cache=None, memoize_costs=False)`` restores the cold
+reference path; results are bit-for-bit identical either way (tested
+property-style in ``tests/sim/test_cache.py``).  See
+``docs/performance.md``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
 
 from ..arch.config import DEFAULT_CONFIG, CrossbarShape, HardwareConfig
 from ..arch.mapping import LayerMapping, map_layer
@@ -23,16 +41,27 @@ from ..core.allocation import (
     allocate_tile_based,
     apply_tile_sharing,
 )
+from ..core.allocation.summary import AllocationSummary, summarize_allocation
 from ..models.graph import Network
-from .area import allocation_area_um2
+from .area import allocation_area_um2, area_from_tile_runs
+from .cache import EvaluationCache, _Infeasible
 from .energy import (
+    cached_layer_adc_conversions,
+    cached_layer_dac_conversions,
+    cached_layer_dynamic_energy,
+    cached_pooling_energy,
     layer_adc_conversions,
     layer_dac_conversions,
     layer_dynamic_energy,
     leakage_energy,
     pooling_energy,
 )
-from .latency import layer_latency_ns, pooling_latency_ns
+from .latency import (
+    cached_layer_latency_ns,
+    cached_pooling_latency_ns,
+    layer_latency_ns,
+    pooling_latency_ns,
+)
 from .metrics import EnergyBreakdown, LayerCost, SystemMetrics
 
 #: A crossbar-configuration strategy: one shape per weight layer.
@@ -50,6 +79,12 @@ class Simulator:
     config: HardwareConfig = DEFAULT_CONFIG
     #: raise :class:`CapacityError` when the allocation exceeds one bank
     enforce_capacity: bool = True
+    #: strategy-level result cache; pass ``None`` to disable
+    cache: EvaluationCache | None = field(
+        default_factory=EvaluationCache, compare=False
+    )
+    #: memoise layer costs and use the aggregate allocation summary
+    memoize_costs: bool = True
 
     # ------------------------------------------------------------------
     def map_network(
@@ -66,7 +101,12 @@ class Simulator:
     def allocate(
         self, mappings: Sequence[LayerMapping], *, tile_shared: bool
     ) -> Allocation:
-        """Tile allocation, optionally followed by Algorithm 1 remapping."""
+        """Tile allocation, optionally followed by Algorithm 1 remapping.
+
+        Always materialises (and validates) the full tile plan — use this
+        for deployable plans; :meth:`evaluate` takes the aggregate
+        shortcut when ``memoize_costs`` is set.
+        """
         allocation = allocate_tile_based(
             mappings, self.config.logical_xbars_per_tile
         )
@@ -79,6 +119,30 @@ class Simulator:
             )
         return allocation
 
+    def summarize(
+        self, mappings: Sequence[LayerMapping], *, tile_shared: bool
+    ) -> AllocationSummary:
+        """Aggregate allocation stats without materialising tiles.
+
+        The memoised integer-math equivalent of :meth:`allocate` —
+        bit-identical aggregates, no :class:`~repro.core.allocation.tiles.Tile`
+        objects (see ``repro.core.allocation.summary``).
+        """
+        summary = summarize_allocation(
+            mappings,
+            self.config.logical_xbars_per_tile,
+            tile_shared=tile_shared,
+        )
+        if (
+            self.enforce_capacity
+            and summary.occupied_tiles > self.config.tiles_per_bank
+        ):
+            raise CapacityError(
+                f"strategy needs {summary.occupied_tiles} tiles; one bank "
+                f"holds {self.config.tiles_per_bank}"
+            )
+        return summary
+
     # ------------------------------------------------------------------
     def evaluate(
         self,
@@ -88,17 +152,85 @@ class Simulator:
         tile_shared: bool = True,
         detailed: bool = True,
     ) -> SystemMetrics:
-        """Full evaluation of one (network, strategy) pair."""
+        """Full evaluation of one (network, strategy) pair.
+
+        Pure and deterministic; with a :attr:`cache` attached, repeat
+        evaluations (including infeasible ones) return memoised results.
+        """
+        strategy = tuple(strategy)
+        key = None
+        if self.cache is not None:
+            key = EvaluationCache.make_key(
+                self.config,
+                network,
+                strategy,
+                tile_shared=tile_shared,
+                detailed=detailed,
+                enforce_capacity=self.enforce_capacity,
+            )
+            hit = self.cache.get(key)
+            if isinstance(hit, _Infeasible):
+                raise CapacityError(hit.message)
+            if hit is not None:
+                return hit  # type: ignore[return-value]
+        try:
+            metrics = self._evaluate_impl(
+                network, strategy, tile_shared=tile_shared, detailed=detailed
+            )
+        except CapacityError as exc:
+            if key is not None and self.cache is not None:
+                self.cache.put(key, _Infeasible(str(exc)))
+            raise
+        if key is not None and self.cache is not None:
+            self.cache.put(key, metrics)
+        return metrics
+
+    def _evaluate_impl(
+        self,
+        network: Network,
+        strategy: Strategy,
+        *,
+        tile_shared: bool,
+        detailed: bool,
+    ) -> SystemMetrics:
         cfg = self.config
         mappings = self.map_network(network, strategy)
-        allocation = self.allocate(mappings, tile_shared=tile_shared)
+
+        if self.memoize_costs:
+            # Aggregate fast path: bit-identical integer/float rollups
+            # without materialising Tile objects (the profiled ~70% of a
+            # cold evaluate), plus memoised per-layer costs.
+            summary = self.summarize(mappings, tile_shared=tile_shared)
+            utilization = summary.utilization
+            occupied_tiles = summary.occupied_tiles
+            occupied_slots = summary.total_crossbar_slots
+            allocated_cells = summary.allocated_cells
+            empty_crossbars = summary.empty_crossbars
+            area_um2 = area_from_tile_runs(
+                zip(summary.shapes_per_layer, summary.tiles_per_layer), cfg
+            )
+            energy_fn, latency_fn = cached_layer_dynamic_energy, cached_layer_latency_ns
+            adc_fn, dac_fn = cached_layer_adc_conversions, cached_layer_dac_conversions
+            pool_e_fn, pool_t_fn = cached_pooling_energy, cached_pooling_latency_ns
+        else:
+            # Reference path: materialise and validate the full tile plan.
+            allocation = self.allocate(mappings, tile_shared=tile_shared)
+            utilization = allocation.utilization
+            occupied_tiles = allocation.occupied_tiles
+            occupied_slots = allocation.total_crossbar_slots
+            allocated_cells = allocation.allocated_cells
+            empty_crossbars = allocation.empty_crossbars
+            area_um2 = allocation_area_um2(allocation, cfg)
+            energy_fn, latency_fn = layer_dynamic_energy, layer_latency_ns
+            adc_fn, dac_fn = layer_adc_conversions, layer_dac_conversions
+            pool_e_fn, pool_t_fn = pooling_energy, pooling_latency_ns
 
         layer_costs: list[LayerCost] = []
         dynamic = EnergyBreakdown()
         latency = 0.0
         for mapping in mappings:
-            e = layer_dynamic_energy(mapping, cfg)
-            t = layer_latency_ns(mapping, cfg)
+            e = energy_fn(mapping, cfg)
+            t = latency_fn(mapping, cfg)
             dynamic = dynamic + e
             latency += t
             if detailed:
@@ -108,23 +240,20 @@ class Simulator:
                         shape_str=str(mapping.shape),
                         mvm_ops=mapping.layer.mvm_ops,
                         num_crossbars=mapping.num_crossbars,
-                        adc_conversions=layer_adc_conversions(mapping, cfg),
-                        dac_conversions=layer_dac_conversions(mapping, cfg),
+                        adc_conversions=adc_fn(mapping, cfg),
+                        dac_conversions=dac_fn(mapping, cfg),
                         energy=e,
                         latency_ns=t,
                         intra_utilization=mapping.utilization,
                     )
                 )
 
-        pool_e = pooling_energy(network, cfg)
-        latency += pooling_latency_ns(network, cfg)
-        occupied_slots = sum(
-            t.capacity for t in allocation.tiles if t.occupied > 0
-        )
+        pool_e = pool_e_fn(network, cfg)
+        latency += pool_t_fn(network, cfg)
         leak = leakage_energy(
-            allocation.occupied_tiles,
+            occupied_tiles,
             occupied_slots,
-            allocation.allocated_cells,
+            allocated_cells,
             latency,
             cfg,
         )
@@ -133,17 +262,115 @@ class Simulator:
         return SystemMetrics(
             network_name=network.name,
             strategy=tuple(str(s) for s in strategy),
-            utilization=allocation.utilization,
+            utilization=utilization,
             energy_nj=breakdown.total,
             latency_ns=latency,
-            area_um2=allocation_area_um2(allocation, cfg),
-            occupied_tiles=allocation.occupied_tiles,
+            area_um2=area_um2,
+            occupied_tiles=occupied_tiles,
             occupied_crossbars=sum(m.num_crossbars for m in mappings),
-            empty_crossbars=allocation.empty_crossbars,
+            empty_crossbars=empty_crossbars,
             tile_shared=tile_shared,
             energy_breakdown=breakdown,
             layer_costs=tuple(layer_costs),
         )
+
+    # ------------------------------------------------------------------
+    def try_evaluate(
+        self,
+        network: Network,
+        strategy: Sequence[CrossbarShape],
+        *,
+        tile_shared: bool = True,
+        detailed: bool = True,
+    ) -> SystemMetrics | None:
+        """:meth:`evaluate`, but ``None`` for an infeasible strategy.
+
+        The feasibility-tolerant entry point the search strategies use: a
+        proposal that overflows the bank is a *skippable* point of the
+        search space, not a crash.
+        """
+        try:
+            return self.evaluate(
+                network, strategy, tile_shared=tile_shared, detailed=detailed
+            )
+        except CapacityError:
+            return None
+
+    def evaluate_many(
+        self,
+        network: Network,
+        strategies: Iterable[Sequence[CrossbarShape]],
+        *,
+        tile_shared: bool = True,
+        detailed: bool = False,
+        max_workers: int | None = None,
+        executor: str = "thread",
+        skip_infeasible: bool = True,
+    ) -> list[SystemMetrics | None]:
+        """Evaluate a batch of strategies, optionally in parallel.
+
+        Returns one entry per strategy, in order; infeasible strategies
+        yield ``None`` when ``skip_infeasible`` is set (default) and raise
+        :class:`CapacityError` otherwise.  ``max_workers`` > 1 fans out
+        over a pool: ``executor="thread"`` shares this simulator (and its
+        cache) across threads; ``executor="process"`` ships a cache-less
+        copy to worker processes and merges results back into the local
+        cache — worth it only when single evaluations are expensive.
+        """
+        batch = [tuple(s) for s in strategies]
+        if executor not in ("thread", "process"):
+            raise ValueError(f"unknown executor {executor!r}")
+
+        def one(strategy: Strategy) -> SystemMetrics | None:
+            if skip_infeasible:
+                return self.try_evaluate(
+                    network, strategy, tile_shared=tile_shared, detailed=detailed
+                )
+            return self.evaluate(
+                network, strategy, tile_shared=tile_shared, detailed=detailed
+            )
+
+        if max_workers is None or max_workers <= 1 or len(batch) <= 1:
+            return [one(s) for s in batch]
+
+        if executor == "process":
+            import concurrent.futures
+
+            worker = replace(self, cache=None)
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=max_workers
+            ) as pool:
+                results = list(
+                    pool.map(
+                        _evaluate_one_remote,
+                        (
+                            (worker, network, s, tile_shared, detailed, skip_infeasible)
+                            for s in batch
+                        ),
+                        chunksize=max(1, len(batch) // (4 * max_workers)),
+                    )
+                )
+            if self.cache is not None:
+                for strategy, metrics in zip(batch, results):
+                    if metrics is None:
+                        continue
+                    self.cache.put(
+                        EvaluationCache.make_key(
+                            self.config,
+                            network,
+                            strategy,
+                            tile_shared=tile_shared,
+                            detailed=detailed,
+                            enforce_capacity=self.enforce_capacity,
+                        ),
+                        metrics,
+                    )
+            return results
+
+        import concurrent.futures
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(one, batch))
 
     # ------------------------------------------------------------------
     def evaluate_homogeneous(
@@ -156,3 +383,19 @@ class Simulator:
         """
         strategy = tuple(shape for _ in network.layers)
         return self.evaluate(network, strategy, tile_shared=tile_shared)
+
+    def cache_stats(self):
+        """Snapshot of the attached cache's counters (``None`` if off)."""
+        return self.cache.stats() if self.cache is not None else None
+
+
+def _evaluate_one_remote(args) -> SystemMetrics | None:
+    """Process-pool worker: evaluate one strategy on a shipped simulator."""
+    simulator, network, strategy, tile_shared, detailed, skip_infeasible = args
+    if skip_infeasible:
+        return simulator.try_evaluate(
+            network, strategy, tile_shared=tile_shared, detailed=detailed
+        )
+    return simulator.evaluate(
+        network, strategy, tile_shared=tile_shared, detailed=detailed
+    )

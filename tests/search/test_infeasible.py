@@ -1,0 +1,126 @@
+"""Regression: a bank too small for part of the search space must not
+crash any search front-end.
+
+With ``tiles_per_bank=9`` on TinyCNN the three largest candidate shapes
+fit (2-9 tiles uniform) while the two smallest overflow (31-35 tiles), so
+every search below meets infeasible strategies mid-run.  Each one must
+skip/penalise them, count them, and still return a feasible best —
+``CapacityError`` may only propagate when *nothing* fits.
+"""
+
+import pytest
+
+from repro.arch.config import DEFAULT_CANDIDATES, HardwareConfig
+from repro.core.autohet import autohet_search
+from repro.core.rl.environment import CrossbarSearchEnv
+from repro.core.search import (
+    SearchOutcome,
+    exhaustive_search,
+    greedy_reward_strategy,
+    random_search,
+    simulated_annealing,
+)
+from repro.sim.simulator import CapacityError, Simulator
+
+TINY_BANK = HardwareConfig(tiles_per_bank=9)
+#: a bank no candidate strategy fits (TinyCNN needs >= 2 tiles)
+HOPELESS_BANK = HardwareConfig(tiles_per_bank=1)
+
+
+@pytest.fixture()
+def tiny_sim():
+    return Simulator(TINY_BANK)
+
+
+def assert_feasible_best(outcome, tiny_net):
+    assert isinstance(outcome, SearchOutcome)
+    strategy, metrics = outcome  # 2-tuple unpacking still works
+    assert strategy is outcome.strategy and metrics is outcome.metrics
+    assert metrics.occupied_tiles <= TINY_BANK.tiles_per_bank
+    assert outcome.infeasible > 0
+    assert outcome.evaluations >= outcome.infeasible
+
+
+def test_random_search_skips_infeasible(tiny_net, tiny_sim):
+    outcome = random_search(
+        tiny_net, DEFAULT_CANDIDATES, tiny_sim, rounds=40, seed=0
+    )
+    assert_feasible_best(outcome, tiny_net)
+    assert outcome.evaluations == 40
+
+
+def test_exhaustive_search_skips_infeasible(tiny_net, tiny_sim):
+    outcome = exhaustive_search(tiny_net, DEFAULT_CANDIDATES, tiny_sim)
+    assert_feasible_best(outcome, tiny_net)
+    assert outcome.evaluations == len(DEFAULT_CANDIDATES) ** tiny_net.num_layers
+
+
+def test_annealing_skips_infeasible(tiny_net, tiny_sim):
+    outcome = simulated_annealing(
+        tiny_net, DEFAULT_CANDIDATES, tiny_sim, rounds=60, seed=0
+    )
+    assert_feasible_best(outcome, tiny_net)
+
+
+def test_annealing_matches_unconstrained_trajectory(tiny_net):
+    # When every proposal is feasible, the infeasible-handling path must
+    # be inert: same rng consumption, same best strategy as before.
+    roomy = simulated_annealing(
+        tiny_net, DEFAULT_CANDIDATES, Simulator(), rounds=60, seed=0
+    )
+    assert roomy.infeasible == 0
+    assert roomy.metrics.reward > 0
+
+
+def test_greedy_reward_skips_infeasible(tiny_net, tiny_sim):
+    stats: dict[str, int] = {}
+    strategy = greedy_reward_strategy(
+        tiny_net, DEFAULT_CANDIDATES, tiny_sim, stats=stats
+    )
+    assert stats["infeasible"] > 0
+    assert stats["evaluations"] == tiny_net.num_layers * len(DEFAULT_CANDIDATES)
+    metrics = tiny_sim.try_evaluate(tiny_net, strategy)
+    assert metrics is not None
+    assert metrics.occupied_tiles <= TINY_BANK.tiles_per_bank
+
+
+def test_env_finish_emits_penalty_episode(tiny_net, tiny_sim):
+    env = CrossbarSearchEnv(tiny_net, DEFAULT_CANDIDATES, tiny_sim)
+    env.reset()
+    for _ in range(env.num_layers):  # uniform 32x32 -> 35 tiles, overflow
+        env.step(0)
+    result = env.finish()
+    assert not result.feasible
+    assert result.metrics is None
+    assert result.reward == env.infeasible_reward == 0.0
+    assert len(result.transitions) == env.num_layers
+    assert env.infeasible_episodes == 1
+    # A feasible episode afterwards works and keeps the counter.
+    env.reset()
+    for _ in range(env.num_layers):
+        env.step(len(DEFAULT_CANDIDATES) - 1)
+    result = env.finish()
+    assert result.feasible and result.reward > 0.0
+    assert env.infeasible_episodes == 1
+
+
+def test_autohet_search_survives_small_bank(tiny_net):
+    result = autohet_search(
+        tiny_net, rounds=10, simulator=Simulator(TINY_BANK), seed=0
+    )
+    # The homogeneous seeding probes all five uniforms; two overflow.
+    assert result.infeasible_episodes >= 2
+    assert result.best_metrics.occupied_tiles <= TINY_BANK.tiles_per_bank
+    assert len(result.reward_history) == result.rounds + result.seed_episodes
+
+
+def test_all_infeasible_raises_capacity_error(tiny_net):
+    sim = Simulator(HOPELESS_BANK)
+    with pytest.raises(CapacityError):
+        random_search(tiny_net, DEFAULT_CANDIDATES, sim, rounds=5)
+    with pytest.raises(CapacityError):
+        exhaustive_search(tiny_net, DEFAULT_CANDIDATES, sim)
+    with pytest.raises(CapacityError):
+        simulated_annealing(tiny_net, DEFAULT_CANDIDATES, sim, rounds=5)
+    with pytest.raises(CapacityError):
+        autohet_search(tiny_net, rounds=2, simulator=sim)

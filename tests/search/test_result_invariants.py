@@ -1,0 +1,72 @@
+"""SearchResult bookkeeping invariants: the reward history covers the
+seeding probes *and* the RL rounds, infeasible episodes are counted, and
+the simulator's cache statistics ride along."""
+
+import pytest
+
+from repro.arch.config import DEFAULT_CANDIDATES
+from repro.core.autohet import AutoHet, autohet_multi_seed, autohet_search
+from repro.serialize import result_to_dict
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture(scope="module")
+def tiny_result(request):
+    tiny_net = request.getfixturevalue("tiny_net")
+    return autohet_search(tiny_net, rounds=8, seed=0)
+
+
+def test_reward_history_covers_seeds_and_rounds(tiny_result):
+    assert tiny_result.seed_episodes == len(DEFAULT_CANDIDATES)
+    assert tiny_result.rounds == 8
+    assert (
+        len(tiny_result.reward_history)
+        == tiny_result.rounds + tiny_result.seed_episodes
+    )
+    assert len(tiny_result.best_reward_history) == len(
+        tiny_result.reward_history
+    )
+    assert tiny_result.infeasible_episodes == 0  # default bank is huge
+
+
+def test_unseeded_search_has_zero_seed_episodes(tiny_net):
+    engine = AutoHet(tiny_net, seed=0)
+    result = engine.search(4, seed_homogeneous=False)
+    assert result.seed_episodes == 0
+    assert len(result.reward_history) == 4
+
+
+def test_cache_stats_follow_the_simulator(tiny_result, tiny_net):
+    # Default simulator carries a cache -> stats come back with the result.
+    stats = tiny_result.cache_stats
+    assert stats is not None
+    assert stats.lookups == len(tiny_result.reward_history)
+    # An explicitly uncached simulator -> no stats, same invariants.
+    bare = autohet_search(
+        tiny_net, rounds=4, simulator=Simulator(cache=None), seed=0
+    )
+    assert bare.cache_stats is None
+
+
+def test_result_serialization_records_new_fields(tiny_result):
+    doc = result_to_dict(tiny_result)
+    assert doc["seed_episodes"] == tiny_result.seed_episodes
+    assert doc["infeasible_episodes"] == 0
+    assert doc["cache"]["hits"] == tiny_result.cache_stats.hits
+    assert doc["cache"]["hit_rate"] == tiny_result.cache_stats.hit_rate
+
+
+def test_multi_seed_shares_one_cache(tiny_net):
+    best, results = autohet_multi_seed(tiny_net, seeds=(0, 1), rounds=4)
+    assert len(results) == 2
+    assert best in results
+    assert best.best_metrics.reward == max(
+        r.best_metrics.reward for r in results
+    )
+    # Seed 1 re-probes seed 0's five uniform strategies: guaranteed hits.
+    assert results[1].cache_stats.hits >= len(DEFAULT_CANDIDATES)
+    for result in results:
+        assert (
+            len(result.reward_history)
+            == result.rounds + result.seed_episodes
+        )
