@@ -12,6 +12,9 @@ violates Eq. 4 bounds or Algorithm 1's accounting.  Three layers:
   `Network` graphs, and allocation plans (object- and dict-level).
 * :mod:`repro.analysis.lint` — project-specific AST lint rules for the
   source tree itself.
+* :mod:`repro.analysis.callgraph` / :mod:`repro.analysis.dataflow` — the
+  interprocedural cache-key soundness and purity analysis behind
+  ``repro check --cache-safety`` (CAC/PUR rule families).
 
 ``repro check`` (see :mod:`repro.cli`) drives all three and exits
 nonzero on ERROR diagnostics; `docs/static_analysis.md` catalogues every
@@ -57,6 +60,8 @@ __all__ = [
     "check_shape",
     "lint_source",
     "lint_tree",
+    "analyze_cache_safety",
+    "analyze_memoized",
 ]
 
 _CHECKER_NAMES = frozenset(
@@ -73,6 +78,9 @@ _CHECKER_NAMES = frozenset(
     }
 )
 _LINT_NAMES = frozenset({"lint_source", "lint_tree", "lint_path"})
+_DATAFLOW_NAMES = frozenset(
+    {"analyze_cache_safety", "analyze_memoized", "simulator_contract"}
+)
 
 
 def __getattr__(name: str) -> Any:
@@ -84,4 +92,8 @@ def __getattr__(name: str) -> Any:
         from . import lint
 
         return getattr(lint, name)
+    if name in _DATAFLOW_NAMES:
+        from . import dataflow
+
+        return getattr(dataflow, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -14,6 +14,7 @@ LNT002  no mutable default arguments
 LNT003  dataclasses under ``arch/`` are frozen or marked ``# stateful:``
 LNT004  no float-literal ``==`` / ``!=`` in energy/latency modules
 LNT005  no bare ``assert`` in ``core/allocation`` invariants
+LNT006  no ``functools.lru_cache`` / ``functools.cache`` on instance methods
 """
 
 from __future__ import annotations
@@ -22,13 +23,45 @@ import ast
 from pathlib import Path
 from typing import Iterable
 
-from .invariants import LNT001, LNT002, LNT003, LNT004, LNT005, Diagnostic
+from .invariants import LNT001, LNT002, LNT003, LNT004, LNT005, LNT006, Diagnostic
 
 #: module paths (relative, POSIX) where ``print`` is user-facing output
 PRINT_ALLOWED_PREFIXES = ("cli.py", "__main__.py", "bench/")
 
 #: marker that declares a deliberately mutable dataclass in arch/
 STATEFUL_MARKER = "# stateful:"
+
+#: ``"relpath::Class.method"`` entries exempt from LNT006 — methods that
+#: are deliberately memoised per-instance (none today; additions need a
+#: review of the self-in-key lifetime hazard they reintroduce)
+CACHED_METHOD_ALLOWLIST: frozenset[str] = frozenset()
+
+def _memo_decorator_name(dec: ast.expr) -> str | None:
+    """The memoising decorator's short name, or None.
+
+    Matches ``@lru_cache``, ``@lru_cache(...)``, ``@functools.lru_cache``,
+    ``@functools.cache`` and the parenthesised forms; ``cached_property``
+    is excluded (it keys per instance by design, not per argument tuple).
+    """
+    target = dec.func if isinstance(dec, ast.Call) else dec
+    if isinstance(target, ast.Name) and target.id in ("lru_cache", "cache"):
+        return target.id
+    if (
+        isinstance(target, ast.Attribute)
+        and target.attr in ("lru_cache", "cache")
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "functools"
+    ):
+        return target.attr
+    return None
+
+
+def _is_instance_method(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for dec in node.decorator_list:
+        if isinstance(dec, ast.Name) and dec.id in ("staticmethod", "classmethod"):
+            return False
+    params = [*node.args.posonlyargs, *node.args.args]
+    return bool(params) and params[0].arg in ("self", "cls")
 
 
 def _is_mutable_literal(node: ast.expr) -> bool:
@@ -149,6 +182,33 @@ def lint_source(source: str, rel_path: str) -> list[Diagnostic]:
                         hint="compare against a tolerance (math.isclose)",
                     )
                 )
+
+        # LNT006 — no functools memoisation on instance methods: the memo
+        # holds `self` in its key, pinning every instance for the life of
+        # the process and keying results on object identity.
+        if isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if not _is_instance_method(item):
+                    continue
+                for dec in item.decorator_list:
+                    memo = _memo_decorator_name(dec)
+                    if memo is None:
+                        continue
+                    if f"{rel_path}::{node.name}.{item.name}" in CACHED_METHOD_ALLOWLIST:
+                        continue
+                    out.append(
+                        LNT006.diag(
+                            f"{rel_path}:{item.lineno}",
+                            f"functools.{memo} on instance method "
+                            f"{node.name}.{item.name} leaks instances via the "
+                            "memo key",
+                            hint="memoise a module-level function of explicit "
+                            "arguments, or add the method to "
+                            "CACHED_METHOD_ALLOWLIST with a rationale",
+                        )
+                    )
 
         # LNT005 — no bare asserts in allocation invariants.
         if in_allocation and isinstance(node, ast.Assert):

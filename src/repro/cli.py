@@ -170,6 +170,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the installed repro package)",
     )
     p_check.add_argument(
+        "--cache-safety", action="store_true",
+        help="run the interprocedural cache-key soundness / purity "
+        "analysis over the memoized simulator call graph (CAC/PUR rules)",
+    )
+    p_check.add_argument(
+        "--ratchet", default=None, metavar="PATH",
+        help="JSON file mapping rule id -> grandfathered finding count; "
+        "any rule exceeding its baseline fails the check even at WARNING",
+    )
+    p_check.add_argument(
         "--no-tile-shared", action="store_true",
         help="skip Algorithm 1 when allocating --model/--strategy",
     )
@@ -191,7 +201,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         check_network,
         check_plan_dict,
     )
-    from .analysis.invariants import Report
+    from .analysis.invariants import Report, ratchet_violations
     from .analysis.lint import lint_tree
     from .arch.config import DEFAULT_CONFIG
     from .arch.mapping import map_layer
@@ -205,7 +215,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             raise SystemExit(f"check: cannot load {what}: {exc}") from exc
 
     report = Report()
-    targeted = any(
+    targeted = args.cache_safety or any(
         v is not None
         for v in (args.config, args.shapes, args.model, args.plan, args.source)
     )
@@ -275,10 +285,30 @@ def cmd_check(args: argparse.Namespace) -> int:
         print(f"linting source tree: {root or 'repro package'}")
         report.extend(lint_tree(root))
 
+    if args.cache_safety or not targeted:
+        from .analysis.dataflow import analyze_cache_safety
+
+        # An explicit --source DIR points the analysis at that tree (it
+        # must be laid out like the repro package); default is the
+        # installed package itself.
+        analysis_root = Path(args.source) if args.source else None
+        print("checking cache-key soundness of the memoized simulator")
+        report.extend(analyze_cache_safety(analysis_root))
+
+    exit_code = report.exit_code
     print(report.format())
-    if report.ok:
+    if args.ratchet:
+        baseline = load_input(
+            args.ratchet, lambda: json.loads(Path(args.ratchet).read_text())
+        )
+        violations = ratchet_violations(report, baseline)
+        for line in violations:
+            print(line)
+        if violations:
+            exit_code = 1
+    if exit_code == 0:
         print("check passed")
-    return report.exit_code
+    return exit_code
 
 
 def cmd_search(args: argparse.Namespace) -> int:

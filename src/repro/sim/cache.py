@@ -13,8 +13,18 @@ results can be memoised outright:
   raise :class:`~repro.sim.simulator.CapacityError`) are cached too, so a
   search random-walking near a capacity cliff does not re-pay the failed
   allocation every round.
-* stable content fingerprints for :class:`HardwareConfig` and
-  :class:`Network` so cache keys survive object identity churn.
+* process-stable content fingerprints for :class:`HardwareConfig` and
+  :class:`Network` (blake2b over a canonical field tuple), so cache keys
+  survive object identity churn *and* are comparable across interpreter
+  runs and ``evaluate_many(mode="process")`` workers regardless of
+  ``PYTHONHASHSEED``.
+
+The fingerprint coverage is a checked contract, not a convention:
+:data:`FINGERPRINTED_FIELDS` declares exactly which fields each key
+component folds in, and ``repro check --cache-safety``
+(:func:`repro.analysis.dataflow.analyze_cache_safety`) statically proves
+that the evaluation reads nothing outside it.  Extend the fingerprints
+and the table together — the analyzer fails the build when they drift.
 
 See ``docs/performance.md`` for the keying rules and usage guidance.
 """
@@ -23,15 +33,81 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from enum import Enum
 from functools import lru_cache
-from typing import Hashable
+from hashlib import blake2b
+from typing import Hashable, Mapping
 
+from ..analysis.invariants import CAC004, Diagnostic
 from ..arch.config import CrossbarShape, HardwareConfig
 from ..models.graph import Network
 
 #: A cache key: every component pre-reduced to a compact hashable value.
 CacheKey = Hashable
+
+# ----------------------------------------------------------------------
+# Fingerprint coverage contract
+# ----------------------------------------------------------------------
+
+#: Every :class:`HardwareConfig` field participates in the key — the
+#: evaluation reads essentially all of them (energy/latency/area tables,
+#: bit widths, tile geometry), so the fingerprint folds the whole record.
+_CONFIG_FIELDS: tuple[str, ...] = tuple(f.name for f in fields(HardwareConfig))
+
+#: Mapping-relevant identity of one layer.  Derived properties
+#: (``kernel_elems``, ``weight_count``, ``mvm_ops``, ``output_size``) are
+#: pure functions of these, so folding the base fields covers them.
+_LAYER_FIELDS: tuple[str, ...] = (
+    "index",
+    "layer_type",
+    "in_channels",
+    "out_channels",
+    "kernel_size",
+    "stride",
+    "padding",
+    "input_size",
+)
+
+#: class simple name -> fields folded into the cache key.  This is the
+#: machine-checked half of the keying contract: ``repro check
+#: --cache-safety`` extracts the attribute read-set of the memoized
+#: evaluation and fails on any read outside these tables.
+FINGERPRINTED_FIELDS: Mapping[str, tuple[str, ...]] = {
+    "HardwareConfig": _CONFIG_FIELDS,
+    "LayerSpec": _LAYER_FIELDS,
+    "PoolSpec": ("window", "stride"),
+    "Stage": ("layer", "pool"),
+    "Network": ("name", "stages"),
+    "CrossbarShape": ("rows", "cols"),
+    "Simulator": ("config", "enforce_capacity"),
+}
+
+#: Fields the evaluation reads that are declared *result-invariant*:
+#: they change how a result is computed (which memo, which cache), never
+#: what it is — the memoize/reference parity tests are the evidence.
+RESULT_INVARIANT_FIELDS: Mapping[str, tuple[str, ...]] = {
+    "Simulator": ("cache", "memoize_costs"),
+}
+
+
+def _canonical(value: object) -> object:
+    """Reduce a field value to a deterministic, repr-stable form."""
+    if isinstance(value, Enum):
+        return (type(value).__name__, value.name)
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return tuple(_canonical(item) for item in value)
+    raise TypeError(
+        f"cannot canonicalise {type(value).__name__!r} for fingerprinting"
+    )
+
+
+def _stable_digest(payload: object) -> int:
+    """blake2b digest of a canonical tuple, independent of PYTHONHASHSEED."""
+    encoded = repr(_canonical(payload)).encode("utf-8")
+    return int.from_bytes(blake2b(encoded, digest_size=16).digest(), "big")
 
 
 @lru_cache(maxsize=1024)
@@ -39,35 +115,35 @@ def config_fingerprint(config: HardwareConfig) -> int:
     """Stable content fingerprint of a hardware configuration.
 
     Two configs with equal fields share a fingerprint even when they are
-    distinct objects (e.g. round-tripped through JSON).
+    distinct objects (e.g. round-tripped through JSON), and the digest is
+    identical across processes and interpreter runs.
     """
-    return hash(config)
+    return _stable_digest(
+        tuple(getattr(config, name) for name in _CONFIG_FIELDS)
+    )
 
 
 @lru_cache(maxsize=1024)
 def network_fingerprint(network: Network) -> int:
     """Stable content fingerprint of a network's search-relevant identity.
 
-    Keyed on the name plus every layer's mapping-relevant structure; two
-    structurally identical builds of the same model share a fingerprint.
+    Folds the name plus every *stage* — each layer's full mapping- and
+    cost-relevant spec (:data:`FINGERPRINTED_FIELDS`'s ``LayerSpec`` row,
+    including ``input_size`` / ``stride`` / ``padding``) and each pooling
+    stage's window geometry.  Two structurally identical builds of the
+    same model share a fingerprint; two models differing only in
+    feature-map size do not.
     """
-    return hash(
-        (
-            network.name,
-            tuple(
-                (
-                    layer.index,
-                    layer.layer_type,
-                    layer.in_channels,
-                    layer.out_channels,
-                    layer.kernel_elems,
-                    layer.weight_count,
-                    layer.mvm_ops,
-                )
-                for layer in network.layers
-            ),
-        )
-    )
+    entries: list[tuple[object, ...]] = []
+    for stage in network.stages:
+        if stage.layer is not None:
+            entries.append(
+                ("L",)
+                + tuple(getattr(stage.layer, name) for name in _LAYER_FIELDS)
+            )
+        if stage.pool is not None:
+            entries.append(("P", stage.pool.window, stage.pool.stride))
+    return _stable_digest((network.name, tuple(entries)))
 
 
 @dataclass(frozen=True)
@@ -79,6 +155,8 @@ class CacheStats:
     evictions: int = 0
     size: int = 0
     max_size: int = 0
+    audited: int = 0
+    audit_failures: int = 0
 
     @property
     def lookups(self) -> int:
@@ -90,11 +168,17 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def summary(self) -> str:
-        return (
+        line = (
             f"cache: {self.hits} hits / {self.lookups} lookups "
             f"({self.hit_rate:.1%}), {self.size}/{self.max_size} entries, "
             f"{self.evictions} evictions"
         )
+        if self.audited:
+            line += (
+                f", {self.audited} audited "
+                f"({self.audit_failures} mismatches)"
+            )
+        return line
 
 
 class _Infeasible:
@@ -115,17 +199,33 @@ class EvaluationCache:
     multi-seed search fan-out.  Values are immutable
     (:class:`~repro.sim.metrics.SystemMetrics` is frozen), so cached
     objects are shared, never copied.
+
+    **Audit mode** (``audit_interval=N``) is the runtime complement of
+    the static cache-safety proof: every Nth hit is re-evaluated from
+    scratch and the cached value must compare equal to the fresh one.  A
+    mismatch is recorded as a CAC004 :class:`Diagnostic` (see
+    :attr:`audit_findings`), counted in :meth:`stats`, and the stale
+    entry is replaced — the caller always receives the fresh value, never
+    a crash.  Sampling is a deterministic hit counter, *not* a RNG: the
+    audit must not itself introduce the nondeterminism it polices.
     """
 
-    def __init__(self, max_size: int = 100_000) -> None:
+    def __init__(self, max_size: int = 100_000, audit_interval: int = 0) -> None:
         if max_size <= 0:
             raise ValueError("max_size must be positive")
+        if audit_interval < 0:
+            raise ValueError("audit_interval must be >= 0 (0 disables audits)")
         self.max_size = max_size
+        self.audit_interval = audit_interval
         self._entries: OrderedDict[CacheKey, object] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._audit_clock = 0
+        self._audited = 0
+        self._audit_failures = 0
+        self._audit_findings: list[Diagnostic] = []
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -179,6 +279,52 @@ class EvaluationCache:
                 self._evictions += 1
             self._entries[key] = value
 
+    # ------------------------------------------------------------------
+    def audit_due(self) -> bool:
+        """Whether the hit just served should be re-evaluated and checked.
+
+        Deterministic every-Nth-hit sampling driven by an internal
+        counter; always ``False`` when ``audit_interval`` is 0.
+        """
+        if self.audit_interval <= 0:
+            return False
+        with self._lock:
+            self._audit_clock += 1
+            return self._audit_clock % self.audit_interval == 0
+
+    def record_audit(
+        self, key: CacheKey, cached: object, fresh: object
+    ) -> Diagnostic | None:
+        """Compare a cached value against its re-evaluation.
+
+        On a mismatch: counts the failure, records a CAC004 diagnostic,
+        and replaces the stale entry with the fresh value.  Returns the
+        diagnostic (``None`` when the values agree).
+        """
+        with self._lock:
+            self._audited += 1
+            if cached == fresh:
+                return None
+            self._audit_failures += 1
+            diagnostic = CAC004.diag(
+                f"cache-key {key!r}",
+                "cache audit mismatch: cached value differs from "
+                "re-evaluation — the key does not cover every input",
+                hint="run `repro check --cache-safety` to find the "
+                "unfingerprinted read, then clear() this cache",
+            )
+            self._audit_findings.append(diagnostic)
+            if key in self._entries:
+                self._entries[key] = fresh
+            return diagnostic
+
+    @property
+    def audit_findings(self) -> tuple[Diagnostic, ...]:
+        """All CAC004 mismatch diagnostics recorded so far."""
+        with self._lock:
+            return tuple(self._audit_findings)
+
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -192,6 +338,8 @@ class EvaluationCache:
         with self._lock:
             self._entries.clear()
             self._hits = self._misses = self._evictions = 0
+            self._audit_clock = self._audited = self._audit_failures = 0
+            self._audit_findings.clear()
 
     def stats(self) -> CacheStats:
         with self._lock:
@@ -201,4 +349,6 @@ class EvaluationCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 max_size=self.max_size,
+                audited=self._audited,
+                audit_failures=self._audit_failures,
             )

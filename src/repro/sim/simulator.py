@@ -172,6 +172,11 @@ class Simulator:
             if isinstance(hit, _Infeasible):
                 raise CapacityError(hit.message)
             if hit is not None:
+                if self.cache.audit_due():
+                    return self._audit_hit(
+                        key, hit, network, strategy,
+                        tile_shared=tile_shared, detailed=detailed,
+                    )
                 return hit  # type: ignore[return-value]
         try:
             metrics = self._evaluate_impl(
@@ -184,6 +189,36 @@ class Simulator:
         if key is not None and self.cache is not None:
             self.cache.put(key, metrics)
         return metrics
+
+    def _audit_hit(
+        self,
+        key: object,
+        hit: object,
+        network: Network,
+        strategy: Strategy,
+        *,
+        tile_shared: bool,
+        detailed: bool,
+    ) -> SystemMetrics:
+        """Re-evaluate a sampled cache hit and cross-check the stored value.
+
+        The runtime complement of ``repro check --cache-safety``: if the
+        static key-coverage proof ever rots, a sampled hit whose fresh
+        re-evaluation differs is recorded as a CAC004 diagnostic on the
+        cache (never a crash) and the fresh value wins.
+        """
+        assert self.cache is not None
+        try:
+            fresh = self._evaluate_impl(
+                network, strategy, tile_shared=tile_shared, detailed=detailed
+            )
+        except CapacityError as exc:
+            # The cache said feasible, the re-evaluation says not: still a
+            # mismatch, still reported through the same channel.
+            self.cache.record_audit(key, hit, _Infeasible(str(exc)))
+            raise
+        self.cache.record_audit(key, hit, fresh)
+        return fresh
 
     def _evaluate_impl(
         self,

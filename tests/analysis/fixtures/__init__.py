@@ -1,0 +1,1 @@
+"""Fixture trees for the static-analysis test suites."""

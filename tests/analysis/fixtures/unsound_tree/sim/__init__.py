@@ -1,0 +1,1 @@
+"""Fixture subpackage mirroring ``repro.sim``."""

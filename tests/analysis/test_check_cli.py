@@ -124,6 +124,80 @@ class TestCheckSource:
         assert "LNT002" in capsys.readouterr().out
 
 
+class TestCheckCacheSafety:
+    FIXTURE_TREE = "tests/analysis/fixtures/unsound_tree"
+
+    def test_real_tree_is_cache_safe(self, capsys):
+        # The shipped simulator satisfies its own keying contract.
+        assert main(["check", "--cache-safety"]) == 0
+        assert "check passed" in capsys.readouterr().out
+
+    def test_unsound_fixture_reports_cac001(self, capsys):
+        from pathlib import Path
+
+        fixture = Path(__file__).parent / "fixtures" / "unsound_tree"
+        assert main(["check", "--cache-safety", "--source", str(fixture)]) == 1
+        out = capsys.readouterr().out
+        assert "CAC001" in out
+        assert "undocumented_knob" in out
+        assert "CAC003" in out
+        assert "PUR001" in out
+
+    def test_default_invocation_includes_cache_safety(self, capsys):
+        assert main(["check"]) == 0
+        assert "cache-key soundness" in capsys.readouterr().out
+
+
+class TestCheckRatchet:
+    def write_baseline(self, tmp_path, mapping):
+        path = tmp_path / "ratchet.json"
+        path.write_text(json.dumps(mapping))
+        return path
+
+    def test_zero_baseline_passes_on_clean_tree(self, tmp_path, capsys):
+        path = self.write_baseline(tmp_path, {"_comment": "zero tolerance"})
+        args = ["check", "--source", "--cache-safety", "--ratchet", str(path)]
+        assert main(args) == 0
+        assert "check passed" in capsys.readouterr().out
+
+    def test_unlisted_rule_defaults_to_zero(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def f(x={}):\n    return x\n")
+        path = self.write_baseline(tmp_path, {})
+        args = ["check", "--source", str(tmp_path), "--ratchet", str(path)]
+        assert main(args) == 1
+        out = capsys.readouterr().out
+        assert "ratchet: LNT002" in out
+
+    def test_grandfathered_count_passes(self, tmp_path, capsys):
+        (tmp_path / "legacy.py").write_text("print('grandfathered')\n")
+        path = self.write_baseline(tmp_path, {"LNT001": 1})
+        args = ["check", "--source", str(tmp_path), "--ratchet", str(path)]
+        assert main(args) == 1  # LNT001 is an ERROR rule -> still exit 1
+        assert "ratchet" not in capsys.readouterr().out
+
+    def test_exceeding_grandfathered_count_reports(self, tmp_path, capsys):
+        (tmp_path / "legacy.py").write_text("print('a')\nprint('b')\n")
+        path = self.write_baseline(tmp_path, {"LNT001": 1})
+        args = ["check", "--source", str(tmp_path), "--ratchet", str(path)]
+        assert main(args) == 1
+        out = capsys.readouterr().out
+        assert "ratchet: LNT001 has 2 finding(s), baseline allows 1" in out
+
+    def test_repo_ratchet_file_is_current(self, capsys):
+        # The committed CI baseline must hold against the shipped tree.
+        from pathlib import Path
+
+        ratchet = (
+            Path(__file__).resolve().parents[2]
+            / ".github"
+            / "diagnostic-ratchet.json"
+        )
+        args = [
+            "check", "--source", "--cache-safety", "--ratchet", str(ratchet),
+        ]
+        assert main(args) == 0
+
+
 class TestPlanSerialization:
     def test_save_plan_round_trips(self, tmp_path):
         from repro.serialize import load_plan_dict

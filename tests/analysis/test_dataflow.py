@@ -1,0 +1,320 @@
+"""Tests for the cache-key soundness / purity analysis (CAC / PUR)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.callgraph import ModuleIndex
+from repro.analysis.dataflow import (
+    CoverageSpec,
+    MemoContract,
+    analyze_cache_safety,
+    analyze_memoized,
+    simulator_contract,
+)
+
+FIXTURE_TREE = Path(__file__).parent / "fixtures" / "unsound_tree"
+
+
+def rule_ids(diags):
+    return sorted({d.rule_id for d in diags})
+
+
+def run(source, coverage, roots=("fix.mod:entry",), **contract_kw):
+    index = ModuleIndex.from_sources({"fix.mod": source})
+    contract = MemoContract(roots=roots, coverage=coverage, **contract_kw)
+    return analyze_memoized(index, contract)
+
+
+CFG_SOURCE = (
+    "from dataclasses import dataclass\n"
+    "@dataclass(frozen=True)\n"
+    "class Cfg:\n"
+    "    a: int\n"
+    "    b: int\n"
+    "    secret: int\n"
+)
+
+
+class TestCAC001:
+    def test_direct_unfingerprinted_read(self):
+        src = CFG_SOURCE + "def entry(cfg: Cfg):\n    return cfg.secret\n"
+        diags = run(src, {"Cfg": CoverageSpec(frozenset({"a", "b"}))})
+        assert "CAC001" in rule_ids(diags)
+        (d,) = [d for d in diags if d.rule_id == "CAC001"]
+        assert "Cfg.secret" in d.message
+
+    def test_read_through_helper_call(self):
+        src = CFG_SOURCE + (
+            "def helper(c):\n"
+            "    return c.secret\n"
+            "def entry(cfg: Cfg):\n"
+            "    return helper(cfg)\n"
+        )
+        diags = run(src, {"Cfg": CoverageSpec(frozenset({"a", "b"}))})
+        assert "CAC001" in rule_ids(diags)
+
+    def test_read_through_property(self):
+        src = CFG_SOURCE.replace(
+            "    secret: int\n",
+            "    secret: int\n"
+            "    @property\n"
+            "    def derived(self):\n"
+            "        return self.secret * 2\n",
+        ) + "def entry(cfg: Cfg):\n    return cfg.derived\n"
+        diags = run(src, {"Cfg": CoverageSpec(frozenset({"a", "b"}))})
+        assert "CAC001" in rule_ids(diags)
+
+    def test_read_through_loop_and_container(self):
+        src = CFG_SOURCE + (
+            "def entry(cfgs: list[Cfg]):\n"
+            "    total = 0\n"
+            "    for c in cfgs:\n"
+            "        total += c.secret\n"
+            "    return total\n"
+        )
+        diags = run(src, {"Cfg": CoverageSpec(frozenset({"a", "b"}))})
+        assert "CAC001" in rule_ids(diags)
+
+    def test_covered_reads_are_clean(self):
+        src = CFG_SOURCE + "def entry(cfg: Cfg):\n    return cfg.a + cfg.b\n"
+        diags = run(src, {"Cfg": CoverageSpec(frozenset({"a", "b"}))})
+        assert [d for d in diags if d.rule_id == "CAC001"] == []
+
+    def test_exempt_field_is_not_flagged(self):
+        src = CFG_SOURCE + "def entry(cfg: Cfg):\n    return cfg.a + cfg.secret\n"
+        spec = CoverageSpec(frozenset({"a"}), exempt=frozenset({"secret", "b"}))
+        diags = run(src, {"Cfg": spec})
+        assert rule_ids(diags) == []
+
+
+class TestCAC002:
+    def test_dead_key_component_warns(self):
+        src = CFG_SOURCE + "def entry(cfg: Cfg):\n    return cfg.a\n"
+        diags = run(src, {"Cfg": CoverageSpec(frozenset({"a", "b"}))})
+        dead = [d for d in diags if d.rule_id == "CAC002"]
+        assert len(dead) == 1
+        assert "Cfg.b" in dead[0].location
+        assert dead[0].severity.name == "WARNING"
+
+    def test_unreached_class_reports_nothing(self):
+        src = CFG_SOURCE + "def entry(x: int):\n    return x\n"
+        diags = run(src, {"Cfg": CoverageSpec(frozenset({"a", "b"}))})
+        assert diags == []
+
+
+class TestCAC003:
+    def test_random_sink(self):
+        src = (
+            "import random\n"
+            "def entry(x):\n"
+            "    return x + random.random()\n"
+        )
+        diags = run(src, {})
+        assert rule_ids(diags) == ["CAC003"]
+
+    def test_time_sink_through_callee(self):
+        src = (
+            "import time\n"
+            "def stamp():\n"
+            "    return time.monotonic()\n"
+            "def entry(x):\n"
+            "    return x + stamp()\n"
+        )
+        diags = run(src, {})
+        assert rule_ids(diags) == ["CAC003"]
+
+    def test_open_builtin_sink(self):
+        src = (
+            "def entry(path):\n"
+            "    with open(path) as fh:\n"
+            "        return fh.read()\n"
+        )
+        diags = run(src, {})
+        assert "CAC003" in rule_ids(diags)
+
+    def test_pure_math_is_clean(self):
+        src = (
+            "import math\n"
+            "def entry(x):\n"
+            "    return math.sqrt(x) + math.floor(x)\n"
+        )
+        assert run(src, {}) == []
+
+
+class TestPUR:
+    def test_attribute_store_on_tracked_input(self):
+        src = CFG_SOURCE + (
+            "def entry(cfg: Cfg):\n"
+            "    cfg.a = 1\n"
+            "    return cfg.a\n"
+        )
+        diags = run(src, {"Cfg": CoverageSpec(frozenset({"a", "b", "secret"}))})
+        assert "PUR001" in rule_ids(diags)
+
+    def test_mutator_method_on_tracked_input(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Box:\n"
+            "    items: list\n"
+            "def entry(b: Box):\n"
+            "    b.items.clear()\n"
+            "    b.update()\n"
+            "    return b.items\n"
+        )
+        diags = run(src, {"Box": CoverageSpec(frozenset({"items"}))})
+        assert "PUR001" in rule_ids(diags)
+
+    def test_global_statement(self):
+        src = (
+            "COUNTER = 0\n"
+            "def entry(x):\n"
+            "    global COUNTER\n"
+            "    COUNTER += 1\n"
+            "    return x\n"
+        )
+        diags = run(src, {})
+        assert rule_ids(diags) == ["PUR002"]
+
+    def test_local_mutation_is_clean(self):
+        src = (
+            "def entry(x):\n"
+            "    acc = []\n"
+            "    acc.append(x)\n"
+            "    return acc\n"
+        )
+        assert run(src, {}) == []
+
+
+class TestEngineCoverage:
+    """The alias-tracking constructs the real tree exercises."""
+
+    def test_zip_and_tuple_unpacking(self):
+        src = CFG_SOURCE + (
+            "def entry(cfgs: list[Cfg], weights: list[int]):\n"
+            "    total = 0\n"
+            "    for c, w in zip(cfgs, weights):\n"
+            "        total += c.secret * w\n"
+            "    return total\n"
+        )
+        diags = run(src, {"Cfg": CoverageSpec(frozenset({"a", "b"}))})
+        assert "CAC001" in rule_ids(diags)
+
+    def test_comprehension_binding(self):
+        src = CFG_SOURCE + (
+            "def entry(cfgs: list[Cfg]):\n"
+            "    return sum(c.secret for c in cfgs)\n"
+        )
+        diags = run(src, {"Cfg": CoverageSpec(frozenset({"a", "b"}))})
+        assert "CAC001" in rule_ids(diags)
+
+    def test_branch_merge_keeps_both_aliases(self):
+        src = CFG_SOURCE + (
+            "def left(c):\n"
+            "    return c.a\n"
+            "def right(c):\n"
+            "    return c.secret\n"
+            "def entry(cfg: Cfg, flag: bool):\n"
+            "    if flag:\n"
+            "        fn = left\n"
+            "    else:\n"
+            "        fn = right\n"
+            "    return fn(cfg)\n"
+        )
+        diags = run(src, {"Cfg": CoverageSpec(frozenset({"a", "b"}))})
+        assert "CAC001" in rule_ids(diags)
+
+    def test_recursion_terminates(self):
+        src = CFG_SOURCE + (
+            "def walk(c, n):\n"
+            "    if n:\n"
+            "        return walk(c, n - 1)\n"
+            "    return c.secret\n"
+            "def entry(cfg: Cfg):\n"
+            "    return walk(cfg, 3)\n"
+        )
+        diags = run(src, {"Cfg": CoverageSpec(frozenset({"a", "b"}))})
+        assert "CAC001" in rule_ids(diags)
+
+    def test_return_type_inferred_without_annotation(self):
+        src = CFG_SOURCE + (
+            "def pick(cfgs):\n"
+            "    for c in cfgs:\n"
+            "        return c\n"
+            "    return None\n"
+            "def entry(cfgs: list[Cfg]):\n"
+            "    chosen = pick(cfgs)\n"
+            "    return chosen.secret\n"
+        )
+        diags = run(src, {"Cfg": CoverageSpec(frozenset({"a", "b"}))})
+        assert "CAC001" in rule_ids(diags)
+
+    def test_boundary_module_is_not_traversed(self):
+        index = ModuleIndex.from_sources(
+            {
+                "fix.memo": (
+                    "import random\n"
+                    "def memo_key(x):\n"
+                    "    return random.random()\n"
+                ),
+                "fix.mod": (
+                    "from .memo import memo_key\n"
+                    "def entry(x):\n"
+                    "    return memo_key(x)\n"
+                ),
+            }
+        )
+        contract = MemoContract(
+            roots=("fix.mod:entry",),
+            coverage={},
+            boundary_modules=("fix.memo",),
+        )
+        assert analyze_memoized(index, contract) == []
+
+    def test_unresolvable_root_raises(self):
+        index = ModuleIndex.from_sources({"fix.mod": "x = 1\n"})
+        contract = MemoContract(roots=("fix.mod:missing",), coverage={})
+        with pytest.raises(ValueError, match="missing"):
+            analyze_memoized(index, contract)
+
+
+class TestFixtureTree:
+    def test_unsound_tree_reports_cac001_cac003_pur001(self):
+        diags = analyze_cache_safety(FIXTURE_TREE)
+        ids = rule_ids(diags)
+        assert "CAC001" in ids
+        assert "CAC003" in ids
+        assert "PUR001" in ids
+        cac1 = [d for d in diags if d.rule_id == "CAC001"]
+        assert any("undocumented_knob" in d.message for d in cac1)
+
+
+class TestRealTree:
+    def test_simulator_contract_roots_resolve(self):
+        contract = simulator_contract()
+        assert "repro.sim.simulator:Simulator.evaluate" in contract.roots
+        assert "HardwareConfig" in contract.coverage
+
+    def test_repro_tree_is_cache_safe(self):
+        # The theorem this subsystem exists to prove: the shipped
+        # simulator reads nothing its cache key does not cover, reaches
+        # no nondeterministic sink, and mutates no input.
+        assert analyze_cache_safety() == []
+
+    def test_analysis_reads_every_config_field(self):
+        # Cross-check the CAC002 direction explicitly: every declared
+        # HardwareConfig key component is genuinely read (no dead keys).
+        from repro.analysis.dataflow import _Analyzer
+        from repro.sim.cache import FINGERPRINTED_FIELDS
+        import repro
+
+        index = ModuleIndex.from_package(
+            Path(repro.__file__).resolve().parent, "repro"
+        )
+        contract = simulator_contract()
+        analyzer = _Analyzer(index, contract)
+        for root in contract.roots:
+            analyzer.analyze_root(index.resolve_qualname(root))
+        read = {a for (c, a) in analyzer.reads if c == "HardwareConfig"}
+        assert read == set(FINGERPRINTED_FIELDS["HardwareConfig"])

@@ -1,4 +1,4 @@
-"""Tests for the project AST lint rules (LNT001-LNT005)."""
+"""Tests for the project AST lint rules (LNT001-LNT006)."""
 
 from pathlib import Path
 
@@ -94,6 +94,79 @@ class TestNoAssertInAllocation:
 
     def test_assert_elsewhere_ok(self):
         assert lint_source("assert x > 0\n", "core/rl/ddpg.py") == []
+
+
+class TestNoCachedInstanceMethods:
+    def test_lru_cache_on_instance_method_flagged(self):
+        src = (
+            "from functools import lru_cache\n"
+            "class C:\n"
+            "    @lru_cache(maxsize=8)\n"
+            "    def m(self, x):\n"
+            "        return x\n"
+        )
+        diags = lint_source(src, "sim/thing.py")
+        assert rule_ids(diags) == ["LNT006"]
+        assert "C.m" in diags[0].message
+
+    def test_functools_qualified_cache_flagged(self):
+        src = (
+            "import functools\n"
+            "class C:\n"
+            "    @functools.cache\n"
+            "    def m(self, x):\n"
+            "        return x\n"
+        )
+        assert rule_ids(lint_source(src, "m.py")) == ["LNT006"]
+
+    def test_bare_lru_cache_decorator_flagged(self):
+        src = (
+            "from functools import lru_cache\n"
+            "class C:\n"
+            "    @lru_cache\n"
+            "    def m(self, x):\n"
+            "        return x\n"
+        )
+        assert rule_ids(lint_source(src, "m.py")) == ["LNT006"]
+
+    def test_staticmethod_and_free_function_ok(self):
+        src = (
+            "from functools import lru_cache\n"
+            "@lru_cache\n"
+            "def free(x):\n"
+            "    return x\n"
+            "class C:\n"
+            "    @staticmethod\n"
+            "    @lru_cache\n"
+            "    def s(x):\n"
+            "        return x\n"
+        )
+        assert lint_source(src, "m.py") == []
+
+    def test_cached_property_not_flagged(self):
+        src = (
+            "from functools import cached_property\n"
+            "class C:\n"
+            "    @cached_property\n"
+            "    def p(self):\n"
+            "        return 1\n"
+        )
+        assert lint_source(src, "m.py") == []
+
+    def test_allowlist_suppresses(self, monkeypatch):
+        from repro.analysis import lint as lint_mod
+
+        src = (
+            "from functools import lru_cache\n"
+            "class C:\n"
+            "    @lru_cache\n"
+            "    def m(self, x):\n"
+            "        return x\n"
+        )
+        monkeypatch.setattr(
+            lint_mod, "CACHED_METHOD_ALLOWLIST", frozenset({"m.py::C.m"})
+        )
+        assert lint_source(src, "m.py") == []
 
 
 class TestTree:

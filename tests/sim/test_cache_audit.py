@@ -1,0 +1,127 @@
+"""Tests for the EvaluationCache audit mode (the runtime CAC004 check)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.arch.config import CrossbarShape
+from repro.models.zoo import lenet
+from repro.sim.cache import CacheStats, EvaluationCache
+from repro.sim.simulator import Simulator
+
+
+def audited_simulator(interval=1):
+    return Simulator(cache=EvaluationCache(audit_interval=interval))
+
+
+def strategy_for(network):
+    return tuple(CrossbarShape(64, 64) for _ in network.layers)
+
+
+class TestAuditSampling:
+    def test_interval_zero_never_audits(self):
+        sim = Simulator(cache=EvaluationCache())
+        net = lenet()
+        for _ in range(3):
+            sim.evaluate(net, strategy_for(net))
+        assert sim.cache.stats().audited == 0
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError, match="audit_interval"):
+            EvaluationCache(audit_interval=-1)
+
+    def test_every_hit_audited_at_interval_one(self):
+        sim = audited_simulator(1)
+        net = lenet()
+        sim.evaluate(net, strategy_for(net))  # miss
+        sim.evaluate(net, strategy_for(net))  # hit -> audit
+        sim.evaluate(net, strategy_for(net))  # hit -> audit
+        stats = sim.cache.stats()
+        assert stats.hits == 2
+        assert stats.audited == 2
+        assert stats.audit_failures == 0
+        assert sim.cache.audit_findings == ()
+
+    def test_interval_two_audits_every_other_hit(self):
+        sim = audited_simulator(2)
+        net = lenet()
+        sim.evaluate(net, strategy_for(net))
+        for _ in range(4):
+            sim.evaluate(net, strategy_for(net))
+        assert sim.cache.stats().audited == 2
+
+    def test_clean_audit_returns_identical_metrics(self):
+        sim = audited_simulator(1)
+        net = lenet()
+        first = sim.evaluate(net, strategy_for(net))
+        second = sim.evaluate(net, strategy_for(net))
+        assert first == second
+
+
+class TestAuditMismatch:
+    def corrupt(self, sim, net):
+        """Evaluate once, then silently corrupt the cached entry."""
+        strategy = strategy_for(net)
+        good = sim.evaluate(net, strategy)
+        key = EvaluationCache.make_key(
+            sim.config,
+            net,
+            strategy,
+            tile_shared=True,
+            detailed=True,
+            enforce_capacity=sim.enforce_capacity,
+        )
+        corrupted = replace(good, energy_nj=good.energy_nj + 123.0)
+        sim.cache.put(key, corrupted)
+        return good, key
+
+    def test_mismatch_detected_and_reported_not_raised(self):
+        sim = audited_simulator(1)
+        net = lenet()
+        good, _key = self.corrupt(sim, net)
+        result = sim.evaluate(net, strategy_for(net))
+        # The caller gets the fresh (correct) value, never the stale one.
+        assert result == good
+        stats = sim.cache.stats()
+        assert stats.audited == 1
+        assert stats.audit_failures == 1
+
+    def test_mismatch_produces_cac004_diagnostic(self):
+        sim = audited_simulator(1)
+        net = lenet()
+        self.corrupt(sim, net)
+        sim.evaluate(net, strategy_for(net))
+        (finding,) = sim.cache.audit_findings
+        assert finding.rule_id == "CAC004"
+        assert finding.severity.name == "ERROR"
+        assert "mismatch" in finding.message
+
+    def test_stale_entry_is_repaired(self):
+        sim = audited_simulator(1)
+        net = lenet()
+        good, key = self.corrupt(sim, net)
+        sim.evaluate(net, strategy_for(net))
+        # The corrupted entry was replaced; a non-audited simulator
+        # sharing the cache now reads the fresh value.
+        assert sim.cache.get(key) == good
+
+    def test_stats_summary_mentions_audits(self):
+        sim = audited_simulator(1)
+        net = lenet()
+        self.corrupt(sim, net)
+        sim.evaluate(net, strategy_for(net))
+        summary = sim.cache.stats().summary()
+        assert "audited" in summary
+        assert "1 mismatches" in summary
+
+
+class TestAuditLifecycle:
+    def test_clear_resets_audit_state(self):
+        cache = EvaluationCache(max_size=4, audit_interval=1)
+        sim = Simulator(cache=cache)
+        net = lenet()
+        sim.evaluate(net, strategy_for(net))
+        sim.evaluate(net, strategy_for(net))
+        cache.clear()
+        assert cache.stats() == CacheStats(max_size=4)
+        assert cache.audit_findings == ()

@@ -1,0 +1,121 @@
+"""Process-stable fingerprints and the input-size collision regression.
+
+The original fingerprints were built on :func:`hash`, which (a) varies
+with ``PYTHONHASHSEED`` — so process-pool workers and serialized cache
+stats were not comparable across runs — and (b) omitted feature-map
+geometry (``input_size`` / ``stride`` / ``padding``) and pooling stages,
+so two workloads with identical channel structure silently shared cached
+metrics.  These tests pin both fixes.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.arch.config import DEFAULT_CONFIG, CrossbarShape
+from repro.models.datasets import DatasetSpec
+from repro.models.graph import Network
+from repro.models.layers import LayerSpec, PoolSpec
+from repro.sim.cache import EvaluationCache, network_fingerprint
+from repro.sim.simulator import Simulator
+
+_FINGERPRINT_SNIPPET = """
+from repro.arch.config import DEFAULT_CONFIG
+from repro.models.zoo import lenet
+from repro.sim.cache import config_fingerprint, network_fingerprint
+print(config_fingerprint(DEFAULT_CONFIG))
+print(network_fingerprint(lenet()))
+"""
+
+
+def _fingerprints_under_seed(seed: str) -> list[str]:
+    result = subprocess.run(
+        [sys.executable, "-c", _FINGERPRINT_SNIPPET],
+        capture_output=True,
+        text=True,
+        env={
+            "PYTHONHASHSEED": seed,
+            "PYTHONPATH": str(Path(repro.__file__).resolve().parents[1]),
+        },
+        check=True,
+    )
+    return result.stdout.split()
+
+
+def sized_network(image_size: int, name: str = "probe") -> Network:
+    """A tiny conv/pool/fc pipeline whose only variable is the input size."""
+    dataset = DatasetSpec(
+        name="synthetic", image_size=image_size, channels=1, num_classes=10
+    )
+    fc_in = ((image_size - 4) // 2) ** 2 * 4
+    return Network.build(
+        name,
+        dataset,
+        [
+            LayerSpec.conv(1, 4, 5),
+            PoolSpec(),
+            LayerSpec.fc(fc_in, 10),
+        ],
+    )
+
+
+class TestProcessStability:
+    def test_fingerprints_survive_hash_randomization(self):
+        # Same content, different PYTHONHASHSEED, different processes:
+        # the blake2b digests must agree where hash() would not.
+        a = _fingerprints_under_seed("0")
+        b = _fingerprints_under_seed("12345")
+        assert a == b
+
+
+class TestCollisionRegression:
+    def test_networks_differing_only_in_input_size_have_distinct_keys(self):
+        small, large = sized_network(12), sized_network(20)
+        assert network_fingerprint(small) != network_fingerprint(large)
+
+    def test_shared_cache_keeps_their_metrics_apart(self):
+        # The latent bug this PR's analyzer flagged: with the old
+        # channel-structure-only fingerprint these two collide, and the
+        # second evaluation silently returns the first one's energy.
+        small, large = sized_network(12), sized_network(20)
+        sim = Simulator(cache=EvaluationCache())
+        shape = CrossbarShape(64, 64)
+        m_small = sim.evaluate(small, tuple(shape for _ in small.layers))
+        m_large = sim.evaluate(large, tuple(shape for _ in large.layers))
+        assert m_small.energy_nj != m_large.energy_nj
+        # Both land in the cache as separate entries, and re-evaluation
+        # returns each network its own metrics.
+        assert len(sim.cache) == 2
+        assert sim.evaluate(small, tuple(shape for _ in small.layers)) == m_small
+
+    def test_pooling_stages_are_fingerprinted(self):
+        # Second latent collision: pooling energy/latency read the pool
+        # stages, so a pooled and an unpooled build must not share keys.
+        dataset = DatasetSpec(
+            name="synthetic", image_size=12, channels=1, num_classes=10
+        )
+        pooled = sized_network(12)
+        unpooled = Network.build(
+            "probe",
+            dataset,
+            [LayerSpec.conv(1, 4, 5), LayerSpec.fc(8 * 8 * 4, 10)],
+        )
+        assert network_fingerprint(pooled) != network_fingerprint(unpooled)
+
+    def test_equal_content_shares_fingerprint(self):
+        assert network_fingerprint(sized_network(12)) == network_fingerprint(
+            sized_network(12)
+        )
+
+    def test_config_fingerprint_tracks_every_field(self):
+        fp = EvaluationCache.make_key(
+            DEFAULT_CONFIG, sized_network(12), (), tile_shared=True,
+            detailed=True, enforce_capacity=True,
+        )[0]
+        tweaked = DEFAULT_CONFIG.with_(latency_pool_ns=DEFAULT_CONFIG.latency_pool_ns + 1)
+        fp2 = EvaluationCache.make_key(
+            tweaked, sized_network(12), (), tile_shared=True,
+            detailed=True, enforce_capacity=True,
+        )[0]
+        assert fp != fp2
