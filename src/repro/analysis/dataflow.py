@@ -1155,7 +1155,10 @@ def simulator_contract() -> MemoContract:
             "repro.sim.simulator:Simulator.try_evaluate",
         ),
         coverage=coverage,
-        boundary_modules=("repro.sim.cache",),
+        # ``repro.obs`` is a boundary for the same reason the cache is:
+        # its clocks and sinks are deliberate I/O that never feeds back
+        # into a metric (the trace-invariance battery is the evidence).
+        boundary_modules=("repro.sim.cache", "repro.obs"),
     )
 
 

@@ -230,6 +230,13 @@ LNT006 = _r(
     "every self alive in the memo (per-instance leak) and folds object "
     "identity into the key; memoise a module-level function instead.",
 )
+LNT007 = _r(
+    "LNT007", "log through the repro.obs bridge", Severity.ERROR, "repo rule",
+    "Library code must not call logging.getLogger / logging.basicConfig "
+    "directly; every subsystem logs through repro.obs.log (get_logger / "
+    "configure_cli_logging) so the namespace stays uniform and handlers, "
+    "levels, and trace sinks are configured in exactly one place.",
+)
 CAC001 = _r(
     "CAC001", "attribute read but not fingerprinted", Severity.ERROR, "§4.5",
     "The memoized evaluation reads an attribute that the cache-key "

@@ -15,6 +15,8 @@ LNT003  dataclasses under ``arch/`` are frozen or marked ``# stateful:``
 LNT004  no float-literal ``==`` / ``!=`` in energy/latency modules
 LNT005  no bare ``assert`` in ``core/allocation`` invariants
 LNT006  no ``functools.lru_cache`` / ``functools.cache`` on instance methods
+LNT007  no direct ``logging.getLogger`` / ``logging.basicConfig`` outside
+        ``obs/`` — subsystems log through ``repro.obs.log``
 """
 
 from __future__ import annotations
@@ -23,10 +25,26 @@ import ast
 from pathlib import Path
 from typing import Iterable
 
-from .invariants import LNT001, LNT002, LNT003, LNT004, LNT005, LNT006, Diagnostic
+from .invariants import (
+    LNT001,
+    LNT002,
+    LNT003,
+    LNT004,
+    LNT005,
+    LNT006,
+    LNT007,
+    Diagnostic,
+)
 
 #: module paths (relative, POSIX) where ``print`` is user-facing output
 PRINT_ALLOWED_PREFIXES = ("cli.py", "__main__.py", "bench/")
+
+#: module paths allowed to touch the stdlib logging module directly —
+#: the obs bridge is where loggers and handlers are wired up
+LOGGING_BRIDGE_PREFIXES = ("obs/",)
+
+#: the stdlib logging entry points LNT007 fences off
+_LOGGING_SETUP_NAMES = ("getLogger", "basicConfig")
 
 #: marker that declares a deliberately mutable dataclass in arch/
 STATEFUL_MARKER = "# stateful:"
@@ -115,6 +133,16 @@ def lint_source(source: str, rel_path: str) -> list[Diagnostic]:
     out: list[Diagnostic] = []
 
     print_allowed = rel_path.startswith(PRINT_ALLOWED_PREFIXES)
+    logging_allowed = rel_path.startswith(LOGGING_BRIDGE_PREFIXES)
+    # Names bound by ``from logging import getLogger [as g]`` — LNT007
+    # must catch the bare-name call form too, not just ``logging.X(...)``.
+    logging_aliases: set[str] = set()
+    if not logging_allowed:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "logging":
+                for alias in node.names:
+                    if alias.name in _LOGGING_SETUP_NAMES:
+                        logging_aliases.add(alias.asname or alias.name)
     in_arch = rel_path.startswith("arch/")
     in_allocation = rel_path.startswith("core/allocation/")
     cost_module = "energy" in Path(rel_path).stem or "latency" in Path(rel_path).stem
@@ -134,6 +162,29 @@ def lint_source(source: str, rel_path: str) -> list[Diagnostic]:
                     hint="use the logging module, or move output to cli/bench",
                 )
             )
+
+        # LNT007 — logging is wired in exactly one place (repro.obs.log);
+        # library code gets its logger through the bridge so the namespace
+        # stays uniform and handler setup stays idempotent.
+        if not logging_allowed and isinstance(node, ast.Call):
+            func = node.func
+            direct = (
+                isinstance(func, ast.Attribute)
+                and func.attr in _LOGGING_SETUP_NAMES
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "logging"
+            )
+            imported = isinstance(func, ast.Name) and func.id in logging_aliases
+            if direct or imported:
+                called = func.attr if direct else func.id  # type: ignore[union-attr]
+                out.append(
+                    LNT007.diag(
+                        f"{rel_path}:{node.lineno}",
+                        f"direct logging.{called}() call outside the obs bridge",
+                        hint="use repro.obs.log.get_logger (or "
+                        "configure_cli_logging in the CLI) instead",
+                    )
+                )
 
         # LNT002 — mutable default arguments.
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):

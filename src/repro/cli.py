@@ -3,10 +3,16 @@
 Commands
 --------
 ``search``     run the AutoHet RL search for a workload and print the
-               learned strategy and metrics.
+               learned strategy and metrics (``--trace PATH`` streams a
+               JSONL trace of the whole search).
 ``baselines``  score the homogeneous baselines (and Manual-Hetero for
                VGG16) on the behavioral simulator.
-``experiment`` regenerate one paper figure/table by name.
+``experiment`` regenerate one paper figure/table by name (accepts
+               ``--trace PATH`` too).
+``trace``      observability utilities: ``trace run`` performs a traced
+               search end-to-end; ``trace summarize`` validates a JSONL
+               trace against the schema and prints per-span p50/p95 and
+               counter-stream rollups (docs/observability.md).
 ``models``     list the available workloads.
 ``check``      statically verify configs, candidate shapes, model
                mappings, allocation plans, and the source tree; exits
@@ -16,10 +22,16 @@ Commands
 from __future__ import annotations
 
 import argparse
-import logging
 import sys
+from contextlib import contextmanager
 
 from .arch.config import DEFAULT_CANDIDATES, SQUARE_CANDIDATES, CrossbarShape
+from .obs import (
+    JsonlSink,
+    Tracer,
+    configure_cli_logging,
+    use_tracer,
+)
 from .bench import (
     fig3_motivation,
     fig4_empty_crossbars,
@@ -119,6 +131,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--candidates", default=None,
         help="comma-separated crossbar shapes, e.g. '32x32,72x64,576x512'",
     )
+    p_search.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL observability trace of the search to PATH "
+             "(inspect with `repro trace summarize PATH`)",
+    )
     p_search.add_argument("--verbose", action="store_true")
 
     p_base = sub.add_parser("baselines", help="score homogeneous baselines")
@@ -133,6 +150,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the experiment's records to PATH "
              "(.json or .csv, by extension; flat-record experiments only)",
     )
+    p_exp.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL observability trace of the experiment to PATH",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="observability traces (docs/observability.md)"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    t_run = trace_sub.add_parser(
+        "run", help="run a traced AutoHet search and summarize the trace"
+    )
+    t_run.add_argument("model", help="workload name (see `models`)")
+    t_run.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="JSONL file the trace records are written to",
+    )
+    t_run.add_argument("--rounds", type=int, default=60)
+    t_run.add_argument("--seed", type=int, default=0)
+    t_run.add_argument(
+        "--candidates", default=None,
+        help="comma-separated crossbar shapes, e.g. '32x32,72x64,576x512'",
+    )
+    t_run.add_argument(
+        "--no-tile-shared", action="store_true",
+        help="disable the tile-shared allocation scheme",
+    )
+    t_sum = trace_sub.add_parser(
+        "summarize",
+        help="validate a JSONL trace against the schema and roll it up",
+    )
+    t_sum.add_argument("path", help="JSONL trace file to summarize")
 
     p_check = sub.add_parser(
         "check",
@@ -311,40 +360,70 @@ def cmd_check(args: argparse.Namespace) -> int:
     return exit_code
 
 
+@contextmanager
+def _tracing(path: str | None):
+    """Scoped ambient JSONL tracing for one CLI command (no-op if ``path``
+    is falsy).  Flushes, closes, and reports the record count on exit."""
+    if not path:
+        yield None
+        return
+    sink = JsonlSink(path)
+    tracer = Tracer([sink])
+    try:
+        with use_tracer(tracer):
+            yield tracer
+    finally:
+        tracer.flush()
+        sink.close()
+        print(f"wrote {sink.emitted} trace records to {path}")
+
+
 def cmd_search(args: argparse.Namespace) -> int:
     if args.verbose:
-        logging.basicConfig(level=logging.INFO, format="%(message)s", stream=sys.stdout)
+        configure_cli_logging()
     network = get_model(args.model)
     candidates = (
         tuple(CrossbarShape.parse(t) for t in args.candidates.split(","))
         if args.candidates
         else DEFAULT_CANDIDATES
     )
-    if args.seeds:
-        seeds = tuple(int(s) for s in args.seeds.split(","))
-        result, per_seed = autohet_multi_seed(
-            network,
-            candidates,
-            seeds=seeds,
-            rounds=args.rounds,
-            tile_shared=not args.no_tile_shared,
-            max_workers=args.workers,
-            verbose=args.verbose,
-        )
-        print(
-            f"multi-seed search over seeds {', '.join(map(str, seeds))}: "
-            f"best RUE per seed = "
-            f"{', '.join(f'{r.best_metrics.rue:.3e}' for r in per_seed)}"
-        )
-    else:
-        result = autohet_search(
-            network,
-            candidates,
-            rounds=args.rounds,
-            tile_shared=not args.no_tile_shared,
-            seed=args.seed,
-            verbose=args.verbose,
-        )
+    trace_path = getattr(args, "trace", None)
+    with _tracing(trace_path):
+        if args.seeds:
+            seeds = tuple(int(s) for s in args.seeds.split(","))
+            result, per_seed = autohet_multi_seed(
+                network,
+                candidates,
+                seeds=seeds,
+                rounds=args.rounds,
+                tile_shared=not args.no_tile_shared,
+                max_workers=args.workers,
+                verbose=args.verbose,
+            )
+            print(
+                f"multi-seed search over seeds {', '.join(map(str, seeds))}: "
+                f"best RUE per seed = "
+                f"{', '.join(f'{r.best_metrics.rue:.3e}' for r in per_seed)}"
+            )
+        else:
+            result = autohet_search(
+                network,
+                candidates,
+                rounds=args.rounds,
+                tile_shared=not args.no_tile_shared,
+                seed=args.seed,
+                verbose=args.verbose,
+            )
+        if trace_path:
+            # One detailed evaluation of the winner so the trace carries
+            # the per-layer utilization / activated-ADC streams (the
+            # search itself evaluates with detailed=False).
+            Simulator().evaluate(
+                network,
+                result.best_strategy,
+                tile_shared=not args.no_tile_shared,
+                detailed=True,
+            )
     print(result.summary())
     m = result.best_metrics
     print(
@@ -375,6 +454,105 @@ def cmd_baselines(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_run(args: argparse.Namespace) -> int:
+    """Traced AutoHet search: search, detailed winner evaluation, rollup."""
+    network = get_model(args.model)
+    candidates = (
+        tuple(CrossbarShape.parse(t) for t in args.candidates.split(","))
+        if args.candidates
+        else DEFAULT_CANDIDATES
+    )
+    with _tracing(args.out):
+        result = autohet_search(
+            network,
+            candidates,
+            rounds=args.rounds,
+            tile_shared=not args.no_tile_shared,
+            seed=args.seed,
+        )
+        Simulator().evaluate(
+            network,
+            result.best_strategy,
+            tile_shared=not args.no_tile_shared,
+            detailed=True,
+        )
+    print(result.summary())
+    return _summarize_trace_file(args.out)
+
+
+def _summarize_trace_file(path: str) -> int:
+    """Validate + roll up one JSONL trace; returns the exit code."""
+    import json
+
+    from .bench.reporting import print_table
+    from .obs import read_jsonl, summarize_records, validate_record
+
+    try:
+        records = list(read_jsonl(path))
+    except OSError as exc:
+        raise SystemExit(f"trace: cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"trace: {path} is not valid JSONL: {exc}") from exc
+
+    problems: list[str] = []
+    for index, record in enumerate(records):
+        problems.extend(
+            f"record {index}: {problem}" for problem in validate_record(record)
+        )
+    summary = summarize_records(records)
+    print(
+        f"{summary.records} records in {path}: "
+        f"{len(summary.spans)} span names, "
+        f"{len(summary.counters)} counter streams, "
+        f"{sum(summary.events.values())} events"
+    )
+    if summary.spans:
+        print_table(
+            ("span", "count", "total ms", "p50 ms", "p95 ms", "max ms"),
+            [
+                (
+                    s.name,
+                    s.count,
+                    s.total_ns / 1e6,
+                    s.p50_ns / 1e6,
+                    s.p95_ns / 1e6,
+                    s.max_ns / 1e6,
+                )
+                for s in summary.spans.values()
+            ],
+            title="spans",
+        )
+    if summary.counters:
+        print_table(
+            ("counter", "count", "mean", "min", "max", "last"),
+            [
+                (c.name, c.count, c.mean, c.minimum, c.maximum, c.last)
+                for c in summary.counters.values()
+            ],
+            title="counter streams",
+        )
+    if summary.events:
+        print_table(
+            ("event", "count"),
+            sorted(summary.events.items()),
+            title="events",
+        )
+    if problems:
+        shown = problems[:20]
+        print(f"\n{len(problems)} schema violations:")
+        for line in shown:
+            print(f"  {line}")
+        if len(problems) > len(shown):
+            print(f"  ... and {len(problems) - len(shown)} more")
+        return 1
+    print("\ntrace validates against schema v1")
+    return 0
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    return _summarize_trace_file(args.path)
+
+
 def cmd_models(_: argparse.Namespace) -> int:
     for name in sorted(_MODEL_BUILDERS):
         net = get_model(name)
@@ -395,10 +573,15 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_models(args)
     if args.command == "check":
         return cmd_check(args)
+    if args.command == "trace":
+        if args.trace_command == "run":
+            return cmd_trace_run(args)
+        return cmd_trace_summarize(args)
     if args.command == "experiment":
-        if getattr(args, "export", None):
-            return cmd_experiment_export(args)
-        EXPERIMENTS[args.name](args)
+        with _tracing(getattr(args, "trace", None)):
+            if getattr(args, "export", None):
+                return cmd_experiment_export(args)
+            EXPERIMENTS[args.name](args)
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")
 

@@ -32,6 +32,8 @@ from typing import Sequence
 
 from ...arch.config import CrossbarShape
 from ...arch.mapping import LayerMapping
+from ...obs import metrics as obs_metrics
+from ...obs.trace import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -117,11 +119,16 @@ def summarize_allocation(
     tile_capacity: int,
     *,
     tile_shared: bool,
+    tracer: Tracer = NULL_TRACER,
 ) -> AllocationSummary:
     """Aggregate allocation outcome for one mapped strategy.
 
     Produces the same numbers as ``allocate_tile_based`` (optionally
     followed by ``apply_tile_sharing``) without materialising tiles.
+    With an enabled ``tracer``, emits one ``alloc.group`` event per
+    same-shape group recording Algorithm 1's occupancy delta.  The
+    tracer never reaches the memoised group function — group outcomes
+    stay keyed on ``(capacity, counts)`` alone.
     """
     if tile_capacity <= 0:
         raise ValueError("tile_capacity must be positive")
@@ -147,6 +154,20 @@ def summarize_allocation(
             cells += group_tiles * tile_capacity * shape.cells
             for pos, count in zip(members, surviving):
                 tiles_per_layer[pos] = count
+            if tracer.enabled:
+                before = sum(
+                    -(-count // tile_capacity) for count in counts
+                )
+                tracer.event(
+                    obs_metrics.EVENT_ALLOC_GROUP,
+                    mode="summary",
+                    shape=str(shape),
+                    layers=len(members),
+                    tiles_before=before,
+                    tiles_after=group_tiles,
+                    released=before - group_tiles,
+                    empty_slots=empty_total,
+                )
         # Note: merged tiles survive under the *head* tile's id.  A head
         # belongs to the layer that created it, so per-layer counts stay
         # attributable even after absorption.

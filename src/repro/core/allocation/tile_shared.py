@@ -26,6 +26,8 @@ from typing import Sequence
 
 from ...analysis.invariants import ALC001, ALC006, InvariantViolation
 from ...arch.config import CrossbarShape
+from ...obs import metrics as obs_metrics
+from ...obs.trace import NULL_TRACER, Tracer
 from .tiles import Allocation, Tile
 
 
@@ -61,13 +63,17 @@ def plan_tile_sharing(
     return comb_map
 
 
-def apply_tile_sharing(allocation: Allocation) -> Allocation:
+def apply_tile_sharing(
+    allocation: Allocation, *, tracer: Tracer = NULL_TRACER
+) -> Allocation:
     """Plan and execute tile sharing over a tile-based allocation.
 
     For every same-shape tile group, :func:`plan_tile_sharing` decides
     which tiles merge; this function then performs the remapping — moving
     each absorbed tile's occupants into its absorber and dropping the
     released tiles — and returns a new, validated :class:`Allocation`.
+    With an enabled ``tracer``, emits one ``alloc.group`` event per group
+    recording the occupancy delta Algorithm 1 achieved.
     """
     by_id: dict[int, Tile] = {
         t.tile_id: t.clone() for t in allocation.tiles if t.occupied > 0
@@ -77,8 +83,18 @@ def apply_tile_sharing(allocation: Allocation) -> Allocation:
     for tile in by_id.values():
         groups.setdefault(tile.shape, []).append(tile)
     released: set[int] = set()
-    for group in groups.values():
+    for shape, group in groups.items():
         plan = plan_tile_sharing(group, allocation.tile_capacity)
+        if tracer.enabled:
+            absorbed = sum(len(tails) for tails in plan.values())
+            tracer.event(
+                obs_metrics.EVENT_ALLOC_GROUP,
+                mode="materialized",
+                shape=str(shape),
+                tiles_before=len(group),
+                tiles_after=len(group) - absorbed,
+                released=absorbed,
+            )
         for head_id, tail_ids in plan.items():
             head = by_id[head_id]
             for tail_id in tail_ids:

@@ -10,22 +10,24 @@ strategy seen becomes the final configuration.
 
 from __future__ import annotations
 
-import logging
 import time
 from dataclasses import dataclass
 from typing import Sequence
 
 from ..arch.config import CrossbarShape, DEFAULT_CANDIDATES
 from ..models.graph import Network
+from ..obs import metrics as obs_metrics
+from ..obs.log import get_logger
+from ..obs.trace import Tracer
 from ..sim.cache import CacheStats
 from ..sim.metrics import SystemMetrics
 from ..sim.simulator import CapacityError, Simulator, Strategy
 from .rl.ddpg import DDPGAgent, DDPGConfig
 from .rl.environment import CrossbarSearchEnv, RewardFn, reward_rue
 
-#: Progress logging for verbose searches; the CLI attaches a stdout
-#: handler (library code never prints — lint rule LNT001).
-_LOG = logging.getLogger("repro.search")
+#: Progress logging for verbose searches, through the one obs bridge
+#: (lint rules LNT001/LNT007); the CLI attaches the stdout handler.
+_LOG = get_logger("search")
 
 
 @dataclass(frozen=True)
@@ -82,21 +84,24 @@ class AutoHet:
         reward_fn: RewardFn = reward_rue,
         agent_config: DDPGConfig | None = None,
         seed: int = 0,
+        tracer: Tracer | None = None,
     ) -> None:
         self.simulator = simulator if simulator is not None else Simulator()
+        self.tracer = tracer
         self.env = CrossbarSearchEnv(
             network,
             candidates,
             self.simulator,
             tile_shared=tile_shared,
             reward_fn=reward_fn,
+            tracer=tracer,
         )
         cfg = agent_config if agent_config is not None else DDPGConfig(seed=seed)
         # A TD3Config transparently selects the twin-critic agent.
         from .rl.td3 import TD3Agent, TD3Config
 
         agent_cls = TD3Agent if isinstance(cfg, TD3Config) else DDPGAgent
-        self.agent = agent_cls(cfg)
+        self.agent = agent_cls(cfg, tracer=tracer)
         self.network = network
 
     # ------------------------------------------------------------------
@@ -120,6 +125,11 @@ class AutoHet:
         if rounds <= 0:
             raise ValueError("rounds must be positive")
         env, agent = self.env, self.agent
+        tracer = (
+            self.tracer
+            if self.tracer is not None
+            else self.simulator.effective_tracer
+        )
         best_reward = float("-inf")
         best: tuple[Strategy, SystemMetrics] | None = None
         rewards: list[float] = []
@@ -145,25 +155,27 @@ class AutoHet:
                 best_curve.append(best_reward)
 
         for episode in range(rounds):
-            # ---- decision stage (steps 1-4): pick an action per layer.
-            t0 = time.perf_counter()
-            agent.begin_episode()
-            state = env.reset()
-            indices: list[int] = []
-            done = False
-            while not done:
-                a = agent.act(state, explore=True)
-                idx = env.continuous_to_index(a)
-                indices.append(idx)
-                state, done = env.step(idx)
-            t1 = time.perf_counter()
-            # ---- hardware feedback (steps 5-7): simulator evaluation.
-            result = env.finish()
-            t2 = time.perf_counter()
-            # ---- learning stage (steps 8-12): pool + pair-network update.
-            agent.observe_episode(result.transitions)
-            agent.learn()
-            t3 = time.perf_counter()
+            with tracer.span(obs_metrics.SPAN_EPISODE, episode=episode):
+                # ---- decision stage (steps 1-4): pick an action per layer.
+                t0 = time.perf_counter()
+                agent.begin_episode()
+                state = env.reset()
+                indices: list[int] = []
+                done = False
+                while not done:
+                    a = agent.act(state, explore=True)
+                    idx = env.continuous_to_index(a)
+                    indices.append(idx)
+                    state, done = env.step(idx)
+                t1 = time.perf_counter()
+                # ---- hardware feedback (steps 5-7): simulator evaluation.
+                result = env.finish()
+                t2 = time.perf_counter()
+                # ---- learning stage (steps 8-12): pool + pair-network
+                # update.
+                agent.observe_episode(result.transitions)
+                agent.learn()
+                t3 = time.perf_counter()
 
             t_decide += t1 - t0
             t_sim += t2 - t1
@@ -189,6 +201,19 @@ class AutoHet:
                 f"{self.network.name}: every strategy overflowed the bank "
                 f"({self.simulator.config.tiles_per_bank} tiles)"
             )
+        if tracer.enabled:
+            tracer.event(
+                obs_metrics.EVENT_SEARCH_RESULT,
+                search="autohet",
+                network=self.network.name,
+                rounds=rounds,
+                best_reward=best_reward,
+                seed_episodes=seed_episodes,
+                infeasible=env.infeasible_episodes - infeasible_before,
+            )
+            stats = self.simulator.cache_stats()
+            if stats is not None:
+                obs_metrics.emit_cache_stats(tracer, stats, context="autohet")
         return SearchResult(
             network_name=self.network.name,
             best_strategy=best[0],
@@ -222,6 +247,7 @@ def autohet_search(
     simulator: Simulator | None = None,
     seed: int = 0,
     verbose: bool = False,
+    tracer: Tracer | None = None,
 ) -> SearchResult:
     """One-call convenience wrapper: build an :class:`AutoHet` and search."""
     engine = AutoHet(
@@ -230,6 +256,7 @@ def autohet_search(
         simulator,
         tile_shared=tile_shared,
         seed=seed,
+        tracer=tracer,
     )
     return engine.search(rounds, verbose=verbose)
 
@@ -244,6 +271,7 @@ def autohet_multi_seed(
     simulator: Simulator | None = None,
     max_workers: int | None = None,
     verbose: bool = False,
+    tracer: Tracer | None = None,
 ) -> tuple[SearchResult, tuple[SearchResult, ...]]:
     """Run :func:`autohet_search` under several RL seeds; keep the best.
 
@@ -269,6 +297,7 @@ def autohet_multi_seed(
             simulator=sim,
             seed=seed,
             verbose=verbose,
+            tracer=tracer,
         )
 
     if max_workers is not None and max_workers > 1 and len(seeds) > 1:

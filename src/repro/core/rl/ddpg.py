@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ...obs import metrics as obs_metrics
+from ...obs.trace import Tracer, current_tracer
 from .networks import MLP, Adam
 from .noise import TruncatedNormalNoise
 from .replay import ExperiencePool, Transition
@@ -77,8 +79,16 @@ class DDPGConfig:
 class DDPGAgent:
     """Actor-critic pair with target networks and an experience pool."""
 
-    def __init__(self, config: DDPGConfig = DDPGConfig()) -> None:
+    def __init__(
+        self, config: DDPGConfig = DDPGConfig(), *, tracer: Tracer | None = None
+    ) -> None:
         self.config = config
+        #: explicit tracer; ``None`` resolves the ambient one lazily.
+        #: Telemetry is read-only: every traced quantity is either already
+        #: computed by the update or derived by an extra stateless forward
+        #: pass, so enabling it cannot change the learning trajectory.
+        self.tracer = tracer
+        self._last_actor_objective: float | None = None
         rng = np.random.default_rng(config.seed)
         sizes_a = (config.state_dim, *config.hidden, 1)
         sizes_c = (config.state_dim + 1, *config.hidden, 1)
@@ -156,7 +166,22 @@ class DDPGAgent:
         loss = None
         for _ in range(cfg.updates_per_episode):
             loss = self._update_once()
+        if loss is not None:
+            tracer = self._effective_tracer()
+            if tracer.enabled:
+                tracer.counter(
+                    obs_metrics.CRITIC_LOSS, loss, episode=self.episodes
+                )
+                if self._last_actor_objective is not None:
+                    tracer.counter(
+                        obs_metrics.ACTOR_LOSS,
+                        self._last_actor_objective,
+                        episode=self.episodes,
+                    )
         return loss
+
+    def _effective_tracer(self) -> Tracer:
+        return self.tracer if self.tracer is not None else current_tracer()
 
     def _update_once(self) -> float:
         cfg = self.config
@@ -191,6 +216,13 @@ class DDPGAgent:
         mu_raw = self.actor.forward(states)
         mu = np.clip(mu_raw, 0.0, 1.0)
         sa_mu = np.concatenate([states, mu], axis=1)
+        if self._effective_tracer().enabled:
+            # The actor's objective is not a by-product of the inverting-
+            # gradient update, so derive it with one extra stateless
+            # forward pass — telemetry only, nothing feeds back.
+            self._last_actor_objective = -float(
+                np.mean(self.critic.forward(sa_mu))
+            )
         ones = np.ones((states.shape[0], 1)) / states.shape[0]
         _, _, dq_dsa = self.critic.backward(sa_mu, ones)
         dq_da = dq_dsa[:, -1:]

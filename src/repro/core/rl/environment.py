@@ -29,6 +29,8 @@ from ...analysis.invariants import Report
 from ...arch.config import CrossbarShape
 from ...arch.mapping import map_layer
 from ...models.graph import Network
+from ...obs import metrics as obs_metrics
+from ...obs.trace import Tracer
 from ...sim.metrics import SystemMetrics
 from ...sim.simulator import CapacityError, Simulator
 from .replay import Transition
@@ -86,6 +88,7 @@ class CrossbarSearchEnv:
         tile_shared: bool = True,
         reward_fn: RewardFn = reward_rue,
         infeasible_reward: float = 0.0,
+        tracer: Tracer | None = None,
     ) -> None:
         if not candidates:
             raise ValueError("need at least one crossbar candidate")
@@ -108,6 +111,11 @@ class CrossbarSearchEnv:
         self.infeasible_reward = infeasible_reward
         #: episodes rejected for bank overflow since construction
         self.infeasible_episodes = 0
+        #: episodes finished since construction (feasible or not)
+        self.episodes_finished = 0
+        # Explicit tracer, else resolve the simulator's (which itself
+        # falls back to the ambient one) at each episode end.
+        self._tracer = tracer
         self._norms = self._feature_norms()
         self._pending: list[int] = []
         self._states: list[np.ndarray] = []
@@ -238,6 +246,22 @@ class CrossbarSearchEnv:
             reward = self.infeasible_reward
         else:
             reward = self.reward_fn(metrics)
+        self.episodes_finished += 1
+        tracer = (
+            self._tracer
+            if self._tracer is not None
+            else self.simulator.effective_tracer
+        )
+        if tracer.enabled:
+            obs_metrics.emit_episode(
+                tracer,
+                index=self.episodes_finished,
+                reward=reward,
+                feasible=metrics is not None,
+                network=self.network.name,
+                utilization=None if metrics is None else metrics.utilization,
+                occupied_tiles=None if metrics is None else metrics.occupied_tiles,
+            )
         transitions = [
             Transition(
                 state=self._states[k],

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...obs.trace import Tracer
 from .ddpg import DDPGAgent, DDPGConfig
 from .networks import MLP, Adam
 
@@ -41,8 +42,10 @@ class TD3Config(DDPGConfig):
 class TD3Agent(DDPGAgent):
     """DDPG agent with twin critics and delayed policy updates."""
 
-    def __init__(self, config: TD3Config = TD3Config()) -> None:
-        super().__init__(config)
+    def __init__(
+        self, config: TD3Config = TD3Config(), *, tracer: Tracer | None = None
+    ) -> None:
+        super().__init__(config, tracer=tracer)
         rng = np.random.default_rng(config.seed + 7919)
         sizes_c = (config.state_dim + 1, *config.hidden, 1)
         self.critic2 = MLP.create(sizes_c, rng=rng)
@@ -106,6 +109,9 @@ class TD3Agent(DDPGAgent):
             sa_mu = np.concatenate([states, mu], axis=1)
             q1 = self.critic.forward(sa_mu)
             q2 = self.critic2.forward(sa_mu)
+            # min(Q1, Q2) is already in hand — record the actor objective
+            # for the rl.actor_loss stream at no extra compute.
+            self._last_actor_objective = -float(np.mean(np.minimum(q1, q2)))
             use_first = q1 <= q2
             ones = np.ones((states.shape[0], 1)) / states.shape[0]
             _, _, d1 = self.critic.backward(sa_mu, ones)

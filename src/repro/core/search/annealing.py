@@ -21,9 +21,11 @@ import numpy as np
 
 from ...arch.config import CrossbarShape
 from ...models.graph import Network
+from ...obs import metrics as obs_metrics
+from ...obs.trace import Tracer
 from ...sim.metrics import SystemMetrics
 from ...sim.simulator import CapacityError, Simulator, Strategy
-from .strategies import SearchOutcome
+from .strategies import SearchOutcome, _search_tracer
 
 
 @dataclass(frozen=True)
@@ -52,6 +54,7 @@ def simulated_annealing(
     tile_shared: bool = True,
     schedule: AnnealingSchedule = AnnealingSchedule(),
     seed: int = 0,
+    tracer: Tracer | None = None,
 ) -> SearchOutcome:
     """Anneal over per-layer crossbar choices; returns the best found.
 
@@ -68,6 +71,7 @@ def simulated_annealing(
     if not candidates:
         raise ValueError("need at least one candidate")
     sim = simulator if simulator is not None else Simulator()
+    tr = _search_tracer(tracer, sim)
     rng = np.random.default_rng(seed)
     n = network.num_layers
     evaluations = infeasible = 0
@@ -105,21 +109,47 @@ def simulated_annealing(
 
     best = (tuple(current), current_metrics)
     temperature = schedule.initial_temperature
-    for _ in range(rounds):
-        proposal = list(current)
-        layer = int(rng.integers(0, n))
-        choice = int(rng.integers(0, len(candidates)))
-        proposal[layer] = choice
-        metrics = evaluate(proposal)
-        if metrics is not None:
-            delta = (metrics.reward - current_metrics.reward) / scale
-            if delta >= 0 or rng.random() < math.exp(delta / temperature):
-                current = proposal
-                current_metrics = metrics
-                if metrics.reward > best[1].reward:
-                    best = (tuple(current), metrics)
-        temperature = max(
-            temperature * schedule.cooling, schedule.min_temperature
+    with tr.span(
+        obs_metrics.SPAN_SEARCH, search="annealing", network=network.name
+    ):
+        for round_index in range(rounds):
+            proposal = list(current)
+            layer = int(rng.integers(0, n))
+            choice = int(rng.integers(0, len(candidates)))
+            proposal[layer] = choice
+            metrics = evaluate(proposal)
+            accepted = False
+            if metrics is not None:
+                delta = (metrics.reward - current_metrics.reward) / scale
+                if delta >= 0 or rng.random() < math.exp(delta / temperature):
+                    accepted = True
+                    current = proposal
+                    current_metrics = metrics
+                    if metrics.reward > best[1].reward:
+                        best = (tuple(current), metrics)
+            if tr.enabled:
+                tr.event(
+                    obs_metrics.EVENT_CANDIDATE,
+                    search="annealing",
+                    round=round_index,
+                    layer=layer,
+                    shape=str(candidates[choice]),
+                    temperature=temperature,
+                    feasible=metrics is not None,
+                    accepted=accepted,
+                    reward=None if metrics is None else metrics.reward,
+                )
+            temperature = max(
+                temperature * schedule.cooling, schedule.min_temperature
+            )
+    if tr.enabled:
+        tr.event(
+            obs_metrics.EVENT_SEARCH_RESULT,
+            search="annealing",
+            network=network.name,
+            evaluations=evaluations,
+            infeasible=infeasible,
+            best_reward=best[1].reward,
         )
     strategy = tuple(candidates[i] for i in best[0])
     return SearchOutcome(

@@ -24,8 +24,15 @@ import numpy as np
 from ...arch.config import CrossbarShape
 from ...arch.mapping import map_layer
 from ...models.graph import Network
+from ...obs import metrics as obs_metrics
+from ...obs.trace import Tracer
 from ...sim.metrics import SystemMetrics
 from ...sim.simulator import CapacityError, Simulator, Strategy
+
+
+def _search_tracer(tracer: Tracer | None, sim: Simulator) -> Tracer:
+    """Explicit tracer, else the simulator's (explicit or ambient)."""
+    return tracer if tracer is not None else sim.effective_tracer
 
 
 class SearchOutcome(tuple):
@@ -132,6 +139,7 @@ def greedy_reward_strategy(
     *,
     tile_shared: bool = True,
     stats: dict[str, int] | None = None,
+    tracer: Tracer | None = None,
 ) -> Strategy:
     """Coordinate-ascent greedy on the global reward.
 
@@ -144,25 +152,44 @@ def greedy_reward_strategy(
     ``stats`` dict to receive ``evaluations`` / ``infeasible`` counts.
     """
     sim = simulator if simulator is not None else Simulator()
+    tr = _search_tracer(tracer, sim)
     strategy = list(greedy_utilization_strategy(network, candidates))
     evaluations = infeasible = 0
-    for i in range(network.num_layers):
-        best_shape = strategy[i]
-        best_reward = -math.inf
-        for shape in candidates:
-            trial = list(strategy)
-            trial[i] = shape
-            evaluations += 1
-            metrics = sim.try_evaluate(
-                network, tuple(trial), tile_shared=tile_shared, detailed=False
-            )
-            if metrics is None:
-                infeasible += 1
-                continue
-            if metrics.reward > best_reward:
-                best_reward = metrics.reward
-                best_shape = shape
-        strategy[i] = best_shape
+    with tr.span(obs_metrics.SPAN_SEARCH, search="greedy", network=network.name):
+        for i in range(network.num_layers):
+            best_shape = strategy[i]
+            best_reward = -math.inf
+            for shape in candidates:
+                trial = list(strategy)
+                trial[i] = shape
+                evaluations += 1
+                metrics = sim.try_evaluate(
+                    network, tuple(trial), tile_shared=tile_shared, detailed=False
+                )
+                if tr.enabled:
+                    tr.event(
+                        obs_metrics.EVENT_CANDIDATE,
+                        search="greedy",
+                        layer=i,
+                        shape=str(shape),
+                        feasible=metrics is not None,
+                        reward=None if metrics is None else metrics.reward,
+                    )
+                if metrics is None:
+                    infeasible += 1
+                    continue
+                if metrics.reward > best_reward:
+                    best_reward = metrics.reward
+                    best_shape = shape
+            strategy[i] = best_shape
+    if tr.enabled:
+        tr.event(
+            obs_metrics.EVENT_SEARCH_RESULT,
+            search="greedy",
+            network=network.name,
+            evaluations=evaluations,
+            infeasible=infeasible,
+        )
     if stats is not None:
         stats["evaluations"] = evaluations
         stats["infeasible"] = infeasible
@@ -177,6 +204,7 @@ def random_search(
     rounds: int = 100,
     tile_shared: bool = True,
     seed: int = 0,
+    tracer: Tracer | None = None,
 ) -> SearchOutcome:
     """Uniform random strategies; returns the best *feasible* one found.
 
@@ -187,20 +215,39 @@ def random_search(
     if rounds <= 0:
         raise ValueError("rounds must be positive")
     sim = simulator if simulator is not None else Simulator()
+    tr = _search_tracer(tracer, sim)
     rng = np.random.default_rng(seed)
     best: tuple[Strategy, SystemMetrics] | None = None
     infeasible = 0
-    for _ in range(rounds):
-        picks = rng.integers(0, len(candidates), size=network.num_layers)
-        strategy = tuple(candidates[i] for i in picks)
-        metrics = sim.try_evaluate(
-            network, strategy, tile_shared=tile_shared, detailed=False
+    with tr.span(obs_metrics.SPAN_SEARCH, search="random", network=network.name):
+        for round_index in range(rounds):
+            picks = rng.integers(0, len(candidates), size=network.num_layers)
+            strategy = tuple(candidates[i] for i in picks)
+            metrics = sim.try_evaluate(
+                network, strategy, tile_shared=tile_shared, detailed=False
+            )
+            if tr.enabled:
+                tr.event(
+                    obs_metrics.EVENT_CANDIDATE,
+                    search="random",
+                    round=round_index,
+                    feasible=metrics is not None,
+                    reward=None if metrics is None else metrics.reward,
+                )
+            if metrics is None:
+                infeasible += 1
+                continue
+            if best is None or metrics.reward > best[1].reward:
+                best = (strategy, metrics)
+    if tr.enabled and best is not None:
+        tr.event(
+            obs_metrics.EVENT_SEARCH_RESULT,
+            search="random",
+            network=network.name,
+            evaluations=rounds,
+            infeasible=infeasible,
+            best_reward=best[1].reward,
         )
-        if metrics is None:
-            infeasible += 1
-            continue
-        if best is None or metrics.reward > best[1].reward:
-            best = (strategy, metrics)
     if best is None:
         raise CapacityError(
             f"all {rounds} sampled strategies overflow the bank "
@@ -218,6 +265,7 @@ def exhaustive_search(
     *,
     tile_shared: bool = True,
     limit: int = 2_000_000,
+    tracer: Tracer | None = None,
 ) -> SearchOutcome:
     """Brute-force oracle over the full C^N space (small models only).
 
@@ -232,17 +280,35 @@ def exhaustive_search(
             "exhaustive search is for small models"
         )
     sim = simulator if simulator is not None else Simulator()
+    tr = _search_tracer(tracer, sim)
     best: tuple[Strategy, SystemMetrics] | None = None
     infeasible = 0
-    for combo in itertools.product(candidates, repeat=network.num_layers):
-        metrics = sim.try_evaluate(
-            network, combo, tile_shared=tile_shared, detailed=False
+    # One span and a result event only — per-candidate events over a C^N
+    # space would dominate the trace.
+    with tr.span(
+        obs_metrics.SPAN_SEARCH,
+        search="exhaustive",
+        network=network.name,
+        space=space,
+    ):
+        for combo in itertools.product(candidates, repeat=network.num_layers):
+            metrics = sim.try_evaluate(
+                network, combo, tile_shared=tile_shared, detailed=False
+            )
+            if metrics is None:
+                infeasible += 1
+                continue
+            if best is None or metrics.reward > best[1].reward:
+                best = (combo, metrics)
+    if tr.enabled and best is not None:
+        tr.event(
+            obs_metrics.EVENT_SEARCH_RESULT,
+            search="exhaustive",
+            network=network.name,
+            evaluations=space,
+            infeasible=infeasible,
+            best_reward=best[1].reward,
         )
-        if metrics is None:
-            infeasible += 1
-            continue
-        if best is None or metrics.reward > best[1].reward:
-            best = (combo, metrics)
     if best is None:
         raise CapacityError(
             f"all {space} strategies overflow the bank "
@@ -259,18 +325,28 @@ def best_homogeneous(
     simulator: Simulator | None = None,
     *,
     tile_shared: bool = False,
+    tracer: Tracer | None = None,
 ) -> SearchOutcome:
     """The highest-RUE homogeneous accelerator ("Best-Homo", §4.4).
 
     Shapes whose uniform strategy overflows the bank are skipped.
     """
     sim = simulator if simulator is not None else Simulator()
+    tr = _search_tracer(tracer, sim)
     scored: list[tuple[CrossbarShape, SystemMetrics]] = []
     infeasible = 0
     for shape in shapes:
         metrics = sim.try_evaluate(
             network, homogeneous_strategy(network, shape), tile_shared=tile_shared
         )
+        if tr.enabled:
+            tr.event(
+                obs_metrics.EVENT_CANDIDATE,
+                search="best_homogeneous",
+                shape=str(shape),
+                feasible=metrics is not None,
+                reward=None if metrics is None else metrics.reward,
+            )
         if metrics is None:
             infeasible += 1
             continue

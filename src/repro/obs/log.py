@@ -1,0 +1,61 @@
+"""The single logging bridge for every ``repro`` subsystem.
+
+Library code must obtain loggers through :func:`get_logger` instead of
+calling :func:`logging.getLogger` directly (enforced by lint rule
+LNT007): funnelling every subsystem through one helper keeps the
+namespace uniform (everything lives under the ``repro`` root logger)
+and gives the observability layer one place to attach handlers, adjust
+levels, or mirror records into trace sinks.
+
+The CLI configures human-readable output with
+:func:`configure_cli_logging`; libraries never install handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+#: root of the project's logger namespace
+ROOT_LOGGER = "repro"
+
+
+def get_logger(subsystem: str = "") -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    ``get_logger("search")`` → ``repro.search``; an empty string (or
+    ``"repro"`` itself, or any already-qualified ``repro.x`` name)
+    returns that logger unchanged.
+    """
+    if not subsystem or subsystem == ROOT_LOGGER:
+        name = ROOT_LOGGER
+    elif subsystem.startswith(ROOT_LOGGER + "."):
+        name = subsystem
+    else:
+        name = f"{ROOT_LOGGER}.{subsystem}"
+    return logging.getLogger(name)
+
+
+def configure_cli_logging(
+    level: int = logging.INFO,
+    stream: TextIO | None = None,
+    fmt: str = "%(message)s",
+) -> logging.Handler:
+    """Attach one stream handler to the ``repro`` root logger.
+
+    Idempotent for the CLI's purposes: an existing handler installed by
+    a previous call is replaced rather than duplicated, so repeated
+    in-process ``main()`` invocations (tests, notebooks) do not stack
+    handlers and double every line.  Returns the installed handler.
+    """
+    root = get_logger()
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_cli_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stdout)
+    handler.setFormatter(logging.Formatter(fmt))
+    handler._repro_cli_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

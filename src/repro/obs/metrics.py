@@ -1,0 +1,129 @@
+"""Paper-grounded metric streams.
+
+Central catalogue of the span / event / counter names the instrumented
+subsystems emit, plus duck-typed emitters that turn the project's
+result objects (``SystemMetrics``, ``CacheStats``) into trace records.
+Emitters take their inputs as plain attribute bags so this package
+never imports ``repro.sim`` or ``repro.core`` (they import us).
+
+The streams mirror the quantities the AUTOHET paper reasons about:
+Eq. 4 crossbar utilization (aggregate and per layer), activated-ADC
+conversion counts (Fig. 5 energy driver), tile occupancy before/after
+Algorithm 1 tile sharing, cache behaviour from PR 2/3, and the RL
+loop's episode reward and actor/critic losses (Eq. 2 reward).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .trace import Tracer
+
+# -- span names ------------------------------------------------------
+SPAN_EVALUATE = "sim.evaluate"        #: one cold Simulator.evaluate
+SPAN_MAP = "sim.map"                  #: weight-matrix -> crossbar mapping
+SPAN_ALLOCATE = "sim.allocate"        #: allocation / summary (Algorithm 1)
+SPAN_COST = "sim.cost"                #: energy/latency/area rollup
+SPAN_SEARCH = "search"                #: one whole strategy search
+SPAN_EPISODE = "search.episode"       #: one RL episode (decide+eval+learn)
+
+# -- event names -----------------------------------------------------
+EVENT_CACHE_HIT = "cache.hit"
+EVENT_CACHE_MISS = "cache.miss"
+EVENT_CACHE_AUDIT = "cache.audit"
+EVENT_INFEASIBLE = "sim.infeasible"
+EVENT_ALLOC_GROUP = "alloc.group"     #: one shape group through Algorithm 1
+EVENT_CANDIDATE = "search.candidate"  #: one candidate probed by a strategy
+EVENT_EPISODE = "rl.episode"          #: one finished environment episode
+EVENT_SEARCH_RESULT = "search.result"
+
+# -- counter streams -------------------------------------------------
+UTILIZATION = "sim.utilization"           #: Eq. 4 aggregate utilization
+ENERGY_NJ = "sim.energy_nj"
+LATENCY_NS = "sim.latency_ns"
+TILE_OCCUPANCY = "alloc.occupied_tiles"   #: tiles after sharing
+LAYER_UTILIZATION = "sim.layer.utilization"    #: per-layer Eq. 4 stream
+LAYER_ADC = "sim.layer.adc_conversions"        #: activated-ADC counts
+CACHE_HIT_RATE = "cache.hit_rate"
+CRITIC_LOSS = "rl.critic_loss"
+ACTOR_LOSS = "rl.actor_loss"
+EPISODE_REWARD = "rl.reward"              #: Eq. 2 reward per episode
+
+
+def emit_system_metrics(
+    tracer: Tracer,
+    metrics: Any,
+    *,
+    network: str = "",
+    include_layers: bool = True,
+) -> None:
+    """Stream one ``SystemMetrics``-shaped result.
+
+    Emits the aggregate utilization / energy / latency / occupancy
+    counters, and (when ``include_layers`` and the result carries
+    per-layer costs) the per-layer utilization and activated-ADC
+    streams with ``layer`` / ``shape`` attributes.
+    """
+    if not tracer.enabled:
+        return
+    tracer.counter(UTILIZATION, metrics.utilization, network=network)
+    tracer.counter(ENERGY_NJ, metrics.energy_nj, network=network)
+    tracer.counter(LATENCY_NS, metrics.latency_ns, network=network)
+    tracer.counter(TILE_OCCUPANCY, metrics.occupied_tiles, network=network)
+    if not include_layers:
+        return
+    for cost in getattr(metrics, "layer_costs", ()) or ():
+        tracer.counter(
+            LAYER_UTILIZATION,
+            cost.intra_utilization,
+            layer=cost.layer_index,
+            shape=cost.shape_str,
+        )
+        tracer.counter(
+            LAYER_ADC,
+            cost.adc_conversions,
+            layer=cost.layer_index,
+            shape=cost.shape_str,
+        )
+
+
+def emit_cache_stats(tracer: Tracer, stats: Any, *, context: str = "") -> None:
+    """Stream one ``CacheStats``-shaped snapshot as counters."""
+    if not tracer.enabled:
+        return
+    tracer.counter("cache.hits", stats.hits, context=context)
+    tracer.counter("cache.misses", stats.misses, context=context)
+    tracer.counter("cache.evictions", stats.evictions, context=context)
+    tracer.counter("cache.size", stats.size, context=context)
+    tracer.counter(CACHE_HIT_RATE, stats.hit_rate, context=context)
+    if getattr(stats, "audited", 0):
+        tracer.counter("cache.audited", stats.audited, context=context)
+    if getattr(stats, "audit_failures", 0):
+        tracer.counter("cache.audit_failures", stats.audit_failures, context=context)
+
+
+def emit_episode(
+    tracer: Tracer,
+    *,
+    index: int,
+    reward: float,
+    feasible: bool,
+    network: str = "",
+    utilization: float | None = None,
+    occupied_tiles: int | None = None,
+) -> None:
+    """Record one finished RL environment episode."""
+    if not tracer.enabled:
+        return
+    tracer.counter(EPISODE_REWARD, reward, episode=index, feasible=feasible)
+    attrs: dict[str, Any] = {
+        "episode": index,
+        "reward": reward,
+        "feasible": feasible,
+        "network": network,
+    }
+    if utilization is not None:
+        attrs["utilization"] = utilization
+    if occupied_tiles is not None:
+        attrs["occupied_tiles"] = occupied_tiles
+    tracer.event(EVENT_EPISODE, **attrs)

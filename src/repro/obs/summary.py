@@ -1,0 +1,215 @@
+"""Schema validation and rollups over trace record streams.
+
+A trace is a sequence of schema-v1 dicts (see
+:mod:`repro.obs.trace` and ``docs/observability.md``).  This module
+validates individual records (:func:`validate_record`), reads JSONL
+trace files back (:func:`read_jsonl`) and rolls a record stream up
+into per-name statistics (:func:`summarize_records`): p50/p95/total
+per span name, count/total/min/max per counter stream, and counts per
+event name.  The rollup is what ``repro trace summarize`` prints and
+what ``benchmarks/`` consume.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from .trace import RECORD_TYPES, SCHEMA_VERSION
+
+#: fields every record must carry, by record type
+_REQUIRED: dict[str, tuple[str, ...]] = {
+    "span": ("v", "type", "name", "seq", "start_ns", "dur_ns", "depth"),
+    "event": ("v", "type", "name", "seq"),
+    "counter": ("v", "type", "name", "seq", "value"),
+}
+
+#: fields a record may carry beyond the required set, by record type
+_OPTIONAL: dict[str, tuple[str, ...]] = {
+    "span": ("attrs", "error"),
+    "event": ("attrs",),
+    "counter": ("attrs",),
+}
+
+_ATTR_SCALARS = (str, int, float, bool, type(None))
+
+
+def validate_record(record: Any) -> list[str]:
+    """Problems with ``record`` under trace schema v1 (empty = valid).
+
+    Checks structure only — field presence, field types, no unknown
+    fields, JSON-scalar attribute values — never semantics, so any
+    conforming producer round-trips.
+    """
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, not an object"]
+    problems: list[str] = []
+    rtype = record.get("type")
+    if rtype not in RECORD_TYPES:
+        return [f"unknown record type {rtype!r} (expected one of {RECORD_TYPES})"]
+    if record.get("v") != SCHEMA_VERSION:
+        problems.append(f"schema version {record.get('v')!r} != {SCHEMA_VERSION}")
+    for key in _REQUIRED[rtype]:
+        if key not in record:
+            problems.append(f"{rtype} record missing required field {key!r}")
+    allowed = set(_REQUIRED[rtype]) | set(_OPTIONAL[rtype])
+    for key in record:
+        if key not in allowed:
+            problems.append(f"{rtype} record has unknown field {key!r}")
+    if not isinstance(record.get("name", ""), str):
+        problems.append("'name' must be a string")
+    for key in ("seq", "start_ns", "dur_ns", "depth"):
+        if key in record and key in _REQUIRED[rtype]:
+            value = record[key]
+            if not isinstance(value, int) or isinstance(value, bool):
+                problems.append(f"{key!r} must be an integer")
+            elif value < 0:
+                problems.append(f"{key!r} must be non-negative")
+    if rtype == "counter" and "value" in record:
+        value = record["value"]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            problems.append("'value' must be numeric")
+        elif isinstance(value, float) and not math.isfinite(value):
+            problems.append("'value' must be finite")
+    if "error" in record and record["error"] is not True:
+        problems.append("'error', when present, must be true")
+    attrs = record.get("attrs")
+    if attrs is not None:
+        if not isinstance(attrs, dict):
+            problems.append("'attrs' must be an object")
+        else:
+            for akey, avalue in attrs.items():
+                if not isinstance(akey, str):
+                    problems.append(f"attribute key {akey!r} is not a string")
+                if not isinstance(avalue, _ATTR_SCALARS):
+                    problems.append(
+                        f"attribute {akey!r} has non-scalar value of type "
+                        f"{type(avalue).__name__}"
+                    )
+    return problems
+
+
+def read_jsonl(path: Path | str) -> Iterator[dict[str, Any]]:
+    """Yield records from a JSONL trace file (skipping blank lines)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def percentile(sorted_values: list[int] | list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    if not sorted_values:
+        raise ValueError("percentile of empty list")
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return float(sorted_values[min(rank, len(sorted_values)) - 1])
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Duration rollup for one span name."""
+
+    name: str
+    count: int
+    total_ns: int
+    p50_ns: float
+    p95_ns: float
+    max_ns: int
+    errors: int = 0
+
+
+@dataclass(frozen=True)
+class CounterStats:
+    """Sample rollup for one counter stream."""
+
+    name: str
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+    last: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Per-name rollup of a whole trace."""
+
+    spans: dict[str, SpanStats] = field(default_factory=dict)
+    counters: dict[str, CounterStats] = field(default_factory=dict)
+    events: dict[str, int] = field(default_factory=dict)
+    records: int = 0
+    invalid: int = 0
+
+    def span_total_ns(self) -> int:
+        return sum(s.total_ns for s in self.spans.values())
+
+
+def summarize_records(records: Iterable[dict[str, Any]]) -> TraceSummary:
+    """Roll a record stream up into :class:`TraceSummary`.
+
+    Records that fail :func:`validate_record` are counted in
+    ``invalid`` and excluded from the rollup rather than poisoning it.
+    """
+    durations: dict[str, list[int]] = {}
+    span_errors: dict[str, int] = {}
+    samples: dict[str, list[float]] = {}
+    events: dict[str, int] = {}
+    total = 0
+    invalid = 0
+    for record in records:
+        total += 1
+        if validate_record(record):
+            invalid += 1
+            continue
+        name = record["name"]
+        rtype = record["type"]
+        if rtype == "span":
+            durations.setdefault(name, []).append(record["dur_ns"])
+            if record.get("error"):
+                span_errors[name] = span_errors.get(name, 0) + 1
+        elif rtype == "counter":
+            samples.setdefault(name, []).append(float(record["value"]))
+        else:
+            events[name] = events.get(name, 0) + 1
+    spans: dict[str, SpanStats] = {}
+    for name, durs in sorted(durations.items()):
+        durs.sort()
+        spans[name] = SpanStats(
+            name=name,
+            count=len(durs),
+            total_ns=sum(durs),
+            p50_ns=percentile(durs, 0.50),
+            p95_ns=percentile(durs, 0.95),
+            max_ns=durs[-1],
+            errors=span_errors.get(name, 0),
+        )
+    counters: dict[str, CounterStats] = {}
+    for name, values in sorted(samples.items()):
+        counters[name] = CounterStats(
+            name=name,
+            count=len(values),
+            total=sum(values),
+            minimum=min(values),
+            maximum=max(values),
+            last=values[-1],
+        )
+    return TraceSummary(
+        spans=spans,
+        counters=counters,
+        events=dict(sorted(events.items())),
+        records=total,
+        invalid=invalid,
+    )
+
+
+def summarize_jsonl(path: Path | str) -> TraceSummary:
+    """Convenience: :func:`read_jsonl` piped into :func:`summarize_records`."""
+    return summarize_records(read_jsonl(path))

@@ -87,7 +87,10 @@ FINGERPRINTED_FIELDS: Mapping[str, tuple[str, ...]] = {
 #: they change how a result is computed (which memo, which cache), never
 #: what it is — the memoize/reference parity tests are the evidence.
 RESULT_INVARIANT_FIELDS: Mapping[str, tuple[str, ...]] = {
-    "Simulator": ("cache", "memoize_costs"),
+    # ``tracer`` only observes the evaluation (spans/events/counters);
+    # the trace-invariance battery in ``tests/obs`` is the evidence that
+    # it never changes a metric bit.
+    "Simulator": ("cache", "memoize_costs", "tracer"),
 }
 
 

@@ -43,6 +43,9 @@ from ..core.allocation import (
 )
 from ..core.allocation.summary import AllocationSummary, summarize_allocation
 from ..models.graph import Network
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..obs.trace import NULL_TRACER, Tracer
 from .area import allocation_area_um2, area_from_tile_runs
 from .cache import EvaluationCache, _Infeasible
 from .energy import (
@@ -85,6 +88,16 @@ class Simulator:
     )
     #: memoise layer costs and use the aggregate allocation summary
     memoize_costs: bool = True
+    #: observability tracer; ``None`` (default) resolves the ambient
+    #: tracer (``repro.obs.use_tracer``) at each call, which is the
+    #: no-op ``NULL_TRACER`` unless tracing was explicitly enabled.
+    #: Result-invariant by construction (``tests/obs`` proves it).
+    tracer: Tracer | None = field(default=None, compare=False)
+
+    @property
+    def effective_tracer(self) -> Tracer:
+        """The tracer evaluations use: :attr:`tracer`, else the ambient one."""
+        return self.tracer if self.tracer is not None else obs_trace._AMBIENT
 
     # ------------------------------------------------------------------
     def map_network(
@@ -99,7 +112,11 @@ class Simulator:
         return tuple(map_layer(layer, shape) for layer, shape in zip(layers, strategy))
 
     def allocate(
-        self, mappings: Sequence[LayerMapping], *, tile_shared: bool
+        self,
+        mappings: Sequence[LayerMapping],
+        *,
+        tile_shared: bool,
+        tracer: Tracer = NULL_TRACER,
     ) -> Allocation:
         """Tile allocation, optionally followed by Algorithm 1 remapping.
 
@@ -111,7 +128,7 @@ class Simulator:
             mappings, self.config.logical_xbars_per_tile
         )
         if tile_shared:
-            allocation = apply_tile_sharing(allocation)
+            allocation = apply_tile_sharing(allocation, tracer=tracer)
         if self.enforce_capacity and allocation.occupied_tiles > self.config.tiles_per_bank:
             raise CapacityError(
                 f"strategy needs {allocation.occupied_tiles} tiles; one bank "
@@ -120,7 +137,11 @@ class Simulator:
         return allocation
 
     def summarize(
-        self, mappings: Sequence[LayerMapping], *, tile_shared: bool
+        self,
+        mappings: Sequence[LayerMapping],
+        *,
+        tile_shared: bool,
+        tracer: Tracer = NULL_TRACER,
     ) -> AllocationSummary:
         """Aggregate allocation stats without materialising tiles.
 
@@ -132,6 +153,7 @@ class Simulator:
             mappings,
             self.config.logical_xbars_per_tile,
             tile_shared=tile_shared,
+            tracer=tracer,
         )
         if (
             self.enforce_capacity
@@ -158,6 +180,12 @@ class Simulator:
         evaluations (including infeasible ones) return memoised results.
         """
         strategy = tuple(strategy)
+        # Hot path: resolve the tracer with one field load and, for the
+        # default ``tracer=None``, one module-attribute read — never a
+        # function call (the cached-hit path budget is ~2µs).
+        tracer = self.tracer
+        if tracer is None:
+            tracer = obs_trace._AMBIENT
         key = None
         if self.cache is not None:
             key = EvaluationCache.make_key(
@@ -170,24 +198,58 @@ class Simulator:
             )
             hit = self.cache.get(key)
             if isinstance(hit, _Infeasible):
+                if tracer.enabled:
+                    tracer.event(
+                        obs_metrics.EVENT_CACHE_HIT,
+                        network=network.name,
+                        infeasible=True,
+                    )
                 raise CapacityError(hit.message)
             if hit is not None:
                 if self.cache.audit_due():
+                    if tracer.enabled:
+                        tracer.event(
+                            obs_metrics.EVENT_CACHE_AUDIT, network=network.name
+                        )
                     return self._audit_hit(
                         key, hit, network, strategy,
                         tile_shared=tile_shared, detailed=detailed,
+                        tracer=tracer,
+                    )
+                if tracer.enabled:
+                    tracer.event(obs_metrics.EVENT_CACHE_HIT, network=network.name)
+                    obs_metrics.emit_system_metrics(
+                        tracer, hit, network=network.name, include_layers=False
                     )
                 return hit  # type: ignore[return-value]
+            if tracer.enabled:
+                tracer.event(obs_metrics.EVENT_CACHE_MISS, network=network.name)
         try:
-            metrics = self._evaluate_impl(
-                network, strategy, tile_shared=tile_shared, detailed=detailed
-            )
+            with tracer.span(
+                obs_metrics.SPAN_EVALUATE,
+                network=network.name,
+                layers=len(strategy),
+                tile_shared=tile_shared,
+                detailed=detailed,
+            ):
+                metrics = self._evaluate_impl(
+                    network, strategy, tile_shared=tile_shared, detailed=detailed,
+                    tracer=tracer,
+                )
         except CapacityError as exc:
+            if tracer.enabled:
+                tracer.event(
+                    obs_metrics.EVENT_INFEASIBLE,
+                    network=network.name,
+                    message=str(exc),
+                )
             if key is not None and self.cache is not None:
                 self.cache.put(key, _Infeasible(str(exc)))
             raise
         if key is not None and self.cache is not None:
             self.cache.put(key, metrics)
+        if tracer.enabled:
+            obs_metrics.emit_system_metrics(tracer, metrics, network=network.name)
         return metrics
 
     def _audit_hit(
@@ -199,6 +261,7 @@ class Simulator:
         *,
         tile_shared: bool,
         detailed: bool,
+        tracer: Tracer = NULL_TRACER,
     ) -> SystemMetrics:
         """Re-evaluate a sampled cache hit and cross-check the stored value.
 
@@ -210,7 +273,8 @@ class Simulator:
         assert self.cache is not None
         try:
             fresh = self._evaluate_impl(
-                network, strategy, tile_shared=tile_shared, detailed=detailed
+                network, strategy, tile_shared=tile_shared, detailed=detailed,
+                tracer=tracer,
             )
         except CapacityError as exc:
             # The cache said feasible, the re-evaluation says not: still a
@@ -227,15 +291,20 @@ class Simulator:
         *,
         tile_shared: bool,
         detailed: bool,
+        tracer: Tracer = NULL_TRACER,
     ) -> SystemMetrics:
         cfg = self.config
-        mappings = self.map_network(network, strategy)
+        with tracer.span(obs_metrics.SPAN_MAP, network=network.name):
+            mappings = self.map_network(network, strategy)
 
         if self.memoize_costs:
             # Aggregate fast path: bit-identical integer/float rollups
             # without materialising Tile objects (the profiled ~70% of a
             # cold evaluate), plus memoised per-layer costs.
-            summary = self.summarize(mappings, tile_shared=tile_shared)
+            with tracer.span(obs_metrics.SPAN_ALLOCATE, mode="summary"):
+                summary = self.summarize(
+                    mappings, tile_shared=tile_shared, tracer=tracer
+                )
             utilization = summary.utilization
             occupied_tiles = summary.occupied_tiles
             occupied_slots = summary.total_crossbar_slots
@@ -249,7 +318,10 @@ class Simulator:
             pool_e_fn, pool_t_fn = cached_pooling_energy, cached_pooling_latency_ns
         else:
             # Reference path: materialise and validate the full tile plan.
-            allocation = self.allocate(mappings, tile_shared=tile_shared)
+            with tracer.span(obs_metrics.SPAN_ALLOCATE, mode="materialized"):
+                allocation = self.allocate(
+                    mappings, tile_shared=tile_shared, tracer=tracer
+                )
             utilization = allocation.utilization
             occupied_tiles = allocation.occupied_tiles
             occupied_slots = allocation.total_crossbar_slots
@@ -263,36 +335,37 @@ class Simulator:
         layer_costs: list[LayerCost] = []
         dynamic = EnergyBreakdown()
         latency = 0.0
-        for mapping in mappings:
-            e = energy_fn(mapping, cfg)
-            t = latency_fn(mapping, cfg)
-            dynamic = dynamic + e
-            latency += t
-            if detailed:
-                layer_costs.append(
-                    LayerCost(
-                        layer_index=mapping.layer.index,
-                        shape_str=str(mapping.shape),
-                        mvm_ops=mapping.layer.mvm_ops,
-                        num_crossbars=mapping.num_crossbars,
-                        adc_conversions=adc_fn(mapping, cfg),
-                        dac_conversions=dac_fn(mapping, cfg),
-                        energy=e,
-                        latency_ns=t,
-                        intra_utilization=mapping.utilization,
+        with tracer.span(obs_metrics.SPAN_COST, layers=len(mappings)):
+            for mapping in mappings:
+                e = energy_fn(mapping, cfg)
+                t = latency_fn(mapping, cfg)
+                dynamic = dynamic + e
+                latency += t
+                if detailed:
+                    layer_costs.append(
+                        LayerCost(
+                            layer_index=mapping.layer.index,
+                            shape_str=str(mapping.shape),
+                            mvm_ops=mapping.layer.mvm_ops,
+                            num_crossbars=mapping.num_crossbars,
+                            adc_conversions=adc_fn(mapping, cfg),
+                            dac_conversions=dac_fn(mapping, cfg),
+                            energy=e,
+                            latency_ns=t,
+                            intra_utilization=mapping.utilization,
+                        )
                     )
-                )
 
-        pool_e = pool_e_fn(network, cfg)
-        latency += pool_t_fn(network, cfg)
-        leak = leakage_energy(
-            occupied_tiles,
-            occupied_slots,
-            allocated_cells,
-            latency,
-            cfg,
-        )
-        breakdown = dynamic + EnergyBreakdown(pooling=pool_e, leakage=leak)
+            pool_e = pool_e_fn(network, cfg)
+            latency += pool_t_fn(network, cfg)
+            leak = leakage_energy(
+                occupied_tiles,
+                occupied_slots,
+                allocated_cells,
+                latency,
+                cfg,
+            )
+            breakdown = dynamic + EnergyBreakdown(pooling=pool_e, leakage=leak)
 
         return SystemMetrics(
             network_name=network.name,
@@ -371,7 +444,10 @@ class Simulator:
         if executor == "process":
             import concurrent.futures
 
-            worker = replace(self, cache=None)
+            # Worker processes neither cache nor trace: live tracers hold
+            # thread-locals and open files, so they must not cross the
+            # pickle boundary.
+            worker = replace(self, cache=None, tracer=NULL_TRACER)
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=max_workers
             ) as pool:

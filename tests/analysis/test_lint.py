@@ -1,4 +1,4 @@
-"""Tests for the project AST lint rules (LNT001-LNT006)."""
+"""Tests for the project AST lint rules (LNT001-LNT007)."""
 
 from pathlib import Path
 
@@ -167,6 +167,44 @@ class TestNoCachedInstanceMethods:
             lint_mod, "CACHED_METHOD_ALLOWLIST", frozenset({"m.py::C.m"})
         )
         assert lint_source(src, "m.py") == []
+
+
+class TestLoggingBridge:
+    def test_qualified_getlogger_flagged(self):
+        src = "import logging\nlog = logging.getLogger(__name__)\n"
+        diags = lint_source(src, "core/autohet2.py")
+        assert rule_ids(diags) == ["LNT007"]
+        assert "getLogger" in diags[0].message
+
+    def test_qualified_basicconfig_flagged(self):
+        src = "import logging\nlogging.basicConfig(level=10)\n"
+        assert rule_ids(lint_source(src, "cli2.py")) == ["LNT007"]
+
+    def test_from_import_call_flagged(self):
+        src = "from logging import getLogger\nlog = getLogger('x')\n"
+        assert rule_ids(lint_source(src, "sim/thing.py")) == ["LNT007"]
+
+    def test_aliased_from_import_call_flagged(self):
+        src = "from logging import getLogger as gl\nlog = gl('x')\n"
+        assert rule_ids(lint_source(src, "sim/thing.py")) == ["LNT007"]
+
+    def test_obs_bridge_itself_allowed(self):
+        src = "import logging\nlog = logging.getLogger('repro')\n"
+        assert lint_source(src, "obs/log.py") == []
+
+    def test_logger_method_calls_ok(self):
+        """Using a logger is fine everywhere — only *acquiring* one is fenced."""
+        src = (
+            "from repro.obs.log import get_logger\n"
+            "log = get_logger('sim')\n"
+            "log.info('hello %s', 'world')\n"
+        )
+        assert lint_source(src, "sim/thing.py") == []
+
+    def test_unrelated_getlogger_name_ok(self):
+        """A same-named call on a non-logging object is not flagged."""
+        src = "factory.getLogger('x')\n"
+        assert lint_source(src, "sim/thing.py") == []
 
 
 class TestTree:

@@ -1,0 +1,278 @@
+"""Unit tests for the tracing primitives, sinks and rollups.
+
+The tracer is driven with a fake monotonic clock throughout, so every
+duration assertion is exact — no sleeps, no tolerance bands.
+"""
+
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    RECORD_TYPES,
+    SCHEMA_VERSION,
+    Tracer,
+    current_tracer,
+    set_ambient_tracer,
+    summarize_jsonl,
+    summarize_records,
+    use_tracer,
+    validate_record,
+)
+from repro.obs.sinks import InMemorySink, JsonlSink, LoggingSink
+from repro.obs.summary import percentile, read_jsonl
+
+
+class FakeClock:
+    """Deterministic nanosecond clock: advance() between reads."""
+
+    def __init__(self) -> None:
+        self.now = 1_000
+
+    def __call__(self) -> int:
+        return self.now
+
+    def advance(self, ns: int) -> None:
+        self.now += ns
+
+
+@pytest.fixture
+def traced():
+    sink = InMemorySink()
+    clock = FakeClock()
+    return Tracer([sink], clock=clock), sink, clock
+
+
+class TestTracerPrimitives:
+    def test_span_records_duration_and_depth(self, traced):
+        tracer, sink, clock = traced
+        with tracer.span("outer", network="vgg16"):
+            clock.advance(50)
+            with tracer.span("inner"):
+                clock.advance(7)
+        inner, outer = sink.records  # inner closes first
+        assert inner["name"] == "inner"
+        assert inner["dur_ns"] == 7 and inner["depth"] == 1
+        assert "attrs" not in inner
+        assert outer["dur_ns"] == 57 and outer["depth"] == 0
+        assert outer["attrs"] == {"network": "vgg16"}
+
+    def test_start_ns_is_epoch_relative(self, traced):
+        tracer, sink, clock = traced
+        clock.advance(500)
+        with tracer.span("s"):
+            pass
+        assert sink.records[0]["start_ns"] == 500
+
+    def test_seq_is_monotonic_across_record_types(self, traced):
+        tracer, sink, _ = traced
+        tracer.event("e")
+        tracer.counter("c", 1.0)
+        with tracer.span("s"):
+            pass
+        assert [r["seq"] for r in sink.records] == [0, 1, 2]
+
+    def test_span_failure_marks_error_and_propagates(self, traced):
+        tracer, sink, _ = traced
+        with pytest.raises(RuntimeError):
+            with tracer.span("s"):
+                raise RuntimeError("boom")
+        assert sink.records[0]["error"] is True
+
+    def test_every_record_validates(self, traced):
+        tracer, sink, clock = traced
+        tracer.event("e", key="value", flag=True, nothing=None)
+        tracer.counter("c", 3.5, layer=2)
+        with tracer.span("s", shape="64x64"):
+            clock.advance(1)
+        for record in sink.records:
+            assert validate_record(record) == []
+            assert record["v"] == SCHEMA_VERSION
+            assert record["type"] in RECORD_TYPES
+
+    def test_span_stacks_are_thread_local(self, traced):
+        tracer, sink, _ = traced
+        depths: list[int] = []
+
+        def worker():
+            with tracer.span("t"):
+                pass
+
+        with tracer.span("main"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        depths = [r["depth"] for r in sink.records]
+        # The worker's span does not see main's open span on its stack.
+        assert depths == [0, 0]
+
+
+class TestNullTracer:
+    def test_disabled_and_silent(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer([]).enabled is True
+        with NULL_TRACER.span("s", anything=1):
+            NULL_TRACER.event("e")
+            NULL_TRACER.counter("c", 1)
+        NULL_TRACER.flush()  # no-op, no error
+
+    def test_null_span_is_a_shared_singleton(self):
+        assert NullTracer().span("a") is NULL_TRACER.span("b")
+
+
+class TestAmbientTracer:
+    def test_default_is_null(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_scopes_and_restores(self):
+        t = Tracer([])
+        assert current_tracer() is NULL_TRACER
+        with use_tracer(t) as active:
+            assert active is t
+            assert current_tracer() is t
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_on_error(self):
+        t = Tracer([])
+        with pytest.raises(ValueError):
+            with use_tracer(t):
+                raise ValueError
+        assert current_tracer() is NULL_TRACER
+
+    def test_set_ambient_none_resets_to_null(self):
+        previous = set_ambient_tracer(Tracer([]))
+        try:
+            assert current_tracer() is not NULL_TRACER
+            set_ambient_tracer(None)
+            assert current_tracer() is NULL_TRACER
+        finally:
+            set_ambient_tracer(previous)
+
+
+class TestSinks:
+    def test_in_memory_snapshot_and_clear(self):
+        sink = InMemorySink()
+        tracer = Tracer([sink])
+        tracer.event("a")
+        snapshot = sink.records
+        tracer.event("b")
+        assert len(snapshot) == 1 and len(sink) == 2
+        sink.clear()
+        assert len(sink) == 0
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        clock = FakeClock()
+        with JsonlSink(path) as sink:
+            tracer = Tracer([sink], clock=clock)
+            with tracer.span("s", network="lenet"):
+                clock.advance(10)
+            tracer.counter("c", 2.5)
+            tracer.flush()
+            assert sink.emitted == 2
+        records = list(read_jsonl(path))
+        assert [r["type"] for r in records] == ["span", "counter"]
+        assert all(validate_record(r) == [] for r in records)
+        assert records[0]["dur_ns"] == 10
+
+    def test_jsonl_lazy_open_and_append(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        assert not path.exists()  # nothing touched until first emit
+        sink.emit({"v": 1, "type": "event", "name": "a", "seq": 0})
+        sink.close()
+        with JsonlSink(path, append=True) as more:
+            more.emit({"v": 1, "type": "event", "name": "b", "seq": 1})
+        assert [r["name"] for r in read_jsonl(path)] == ["a", "b"]
+
+    def test_logging_sink_emits_debug_records(self, caplog):
+        sink = LoggingSink()
+        with caplog.at_level(logging.DEBUG, logger="repro.trace"):
+            sink.emit({"v": 1, "type": "event", "name": "cache.hit", "seq": 0})
+        assert "cache.hit" in caplog.text
+        # The record itself is embedded as parseable JSON.
+        payload = caplog.records[0].args[2]
+        assert json.loads(payload)["name"] == "cache.hit"
+
+
+class TestSummary:
+    def test_percentile_nearest_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 0.50) == 20.0
+        assert percentile(values, 0.95) == 40.0
+        assert percentile([5.0], 0.95) == 5.0
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_rollup_math(self):
+        sink = InMemorySink()
+        clock = FakeClock()
+        tracer = Tracer([sink], clock=clock)
+        for dur in (10, 20, 30):
+            with tracer.span("work"):
+                clock.advance(dur)
+        tracer.counter("util", 0.5)
+        tracer.counter("util", 0.7)
+        tracer.event("hit")
+        tracer.event("hit")
+        tracer.event("miss")
+        summary = sink.summary()
+        work = summary.spans["work"]
+        assert (work.count, work.total_ns, work.max_ns) == (3, 60, 30)
+        assert work.p50_ns == 20.0 and work.p95_ns == 30.0
+        util = summary.counters["util"]
+        assert util.count == 2 and util.mean == pytest.approx(0.6)
+        assert (util.minimum, util.maximum, util.last) == (0.5, 0.7, 0.7)
+        assert summary.events == {"hit": 2, "miss": 1}
+        assert summary.records == 8 and summary.invalid == 0
+        assert summary.span_total_ns() == 60
+
+    def test_invalid_records_counted_not_fatal(self):
+        good = {"v": 1, "type": "event", "name": "ok", "seq": 0}
+        bad = {"v": 1, "type": "event", "seq": "x"}
+        summary = summarize_records([good, bad, ["not a dict"]])
+        assert summary.records == 3 and summary.invalid == 2
+        assert summary.events == {"ok": 1}
+
+    def test_summarize_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlSink(path) as sink:
+            Tracer([sink]).event("e")
+        summary = summarize_jsonl(path)
+        assert summary.events == {"e": 1} and summary.invalid == 0
+
+
+class TestValidateRecord:
+    def test_unknown_type(self):
+        assert validate_record({"v": 1, "type": "gauge", "name": "x", "seq": 0})
+
+    def test_unknown_field(self):
+        problems = validate_record(
+            {"v": 1, "type": "event", "name": "x", "seq": 0, "bogus": 1}
+        )
+        assert any("bogus" in p for p in problems)
+
+    def test_wrong_version(self):
+        problems = validate_record({"v": 99, "type": "event", "name": "x", "seq": 0})
+        assert any("version" in p for p in problems)
+
+    def test_negative_duration_rejected(self):
+        record = {
+            "v": 1, "type": "span", "name": "s", "seq": 0,
+            "start_ns": 0, "dur_ns": -5, "depth": 0,
+        }
+        assert any("dur_ns" in p for p in validate_record(record))
+
+    def test_non_finite_counter_rejected(self):
+        record = {"v": 1, "type": "counter", "name": "c", "seq": 0,
+                  "value": float("nan")}
+        assert any("finite" in p for p in validate_record(record))
+
+    def test_non_scalar_attr_rejected(self):
+        record = {"v": 1, "type": "event", "name": "e", "seq": 0,
+                  "attrs": {"shape": [64, 64]}}
+        assert any("non-scalar" in p for p in validate_record(record))

@@ -1,0 +1,136 @@
+"""Differential battery: functional crossbar engine vs numpy MVM reference.
+
+The functional engine computes ``x_q @ W_q`` the hard way — offset
+encoding, bit-slicing across the crossbar group, per-row-group scatter,
+bit-serial input streaming, saturating ADC, shift-and-add, adder-tree
+merge.  With the paper's 10-bit ADC no candidate height (<= 576 rows)
+can saturate a bitline sample, so the pipeline must be *integer-exact*
+against a one-line float numpy matmul of the same quantized operands.
+
+This battery pins that equivalence over all five hybrid rectangles of
+§4.3 (36x32 … 576x512), all power-of-two squares (32x32 … 512x512),
+CONV and FC row placements (including the kernel-split path), extreme
+weight values, and hypothesis-fuzzed dimensions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.config import (
+    RECTANGLE_CANDIDATES,
+    SQUARE_CANDIDATES,
+    CrossbarShape,
+    HardwareConfig,
+)
+from repro.models.layers import LayerSpec
+from repro.sim.functional import FunctionalLayerEngine
+
+#: fewer bit cycles than the paper config, same exactness property
+CFG = HardwareConfig(weight_bits=4, input_bits=4, adc_bits=10)
+
+ALL_SHAPES = RECTANGLE_CANDIDATES + SQUARE_CANDIDATES
+SHAPE_IDS = [str(s) for s in ALL_SHAPES]
+
+
+def random_operands(layer, seed, config=CFG, batch=3):
+    """Random in-range quantized weights and inputs for ``layer``."""
+    rng = np.random.default_rng(seed)
+    rows, cout = layer.weight_matrix_shape
+    limit = 2 ** (config.weight_bits - 1)
+    wq = rng.integers(-limit, limit, size=(rows, cout), dtype=np.int64)
+    xq = rng.integers(
+        0, 2**config.input_bits, size=(batch, rows), dtype=np.int64
+    )
+    return wq, xq
+
+
+def assert_matches_reference(layer, shape, wq, xq, config=CFG):
+    engine = FunctionalLayerEngine(layer, shape, wq, config)
+    got = engine.mvm_batch(xq)
+    # Float reference: every partial product and sum here is an integer
+    # far below 2**53, so the float64 matmul is itself exact.
+    ref = xq.astype(np.float64) @ wq.astype(np.float64)
+    np.testing.assert_array_equal(got.astype(np.float64), ref)
+    assert engine.counters.adc_saturations == 0
+    return engine
+
+
+@pytest.mark.parametrize("shape", ALL_SHAPES, ids=SHAPE_IDS)
+class TestEveryCandidateShape:
+    def test_fc_spanning_row_and_column_groups(self, shape):
+        """FC matrix larger than one crossbar in both dimensions."""
+        layer = LayerSpec.fc(shape.rows + shape.rows // 2 + 1, shape.cols + 7)
+        wq, xq = random_operands(layer, seed=shape.rows * 1000 + shape.cols)
+        engine = assert_matches_reference(layer, shape, wq, xq)
+        assert engine.mapping.row_groups >= 2
+        assert engine.mapping.col_groups >= 2
+
+    def test_conv_kernel_row_placement(self, shape):
+        """3x3 CONV rows land per the occupancy-grid slice placement.
+
+        Rectangle heights are multiples of 9, so kernels stay whole;
+        power-of-two squares leave padding rows (32 = 3 slices * 9 + 5)
+        or split kernels across groups — all must stay exact.
+        """
+        slices = max(shape.rows // 9, 1)
+        layer = LayerSpec.conv(slices + 1, 5, 3)  # forces >= 2 row groups
+        wq, xq = random_operands(layer, seed=shape.rows, batch=4)
+        engine = assert_matches_reference(layer, shape, wq, xq)
+        assert engine.mapping.row_groups >= 2
+
+    def test_extreme_weights_and_inputs(self, shape):
+        """Every cell at a signed-range endpoint, every input at max."""
+        layer = LayerSpec.fc(shape.rows + 1, 3)
+        rows, cout = layer.weight_matrix_shape
+        limit = 2 ** (CFG.weight_bits - 1)
+        wq = np.empty((rows, cout), dtype=np.int64)
+        wq[:, 0] = -limit
+        wq[:, 1] = limit - 1
+        wq[:, 2] = np.where(np.arange(rows) % 2 == 0, -limit, limit - 1)
+        xq = np.full((2, rows), 2**CFG.input_bits - 1, dtype=np.int64)
+        assert_matches_reference(layer, shape, wq, xq)
+
+
+class TestSingleVector:
+    def test_mvm_matches_batch(self):
+        layer = LayerSpec.fc(50, 10)
+        wq, xq = random_operands(layer, seed=7, batch=1)
+        engine = FunctionalLayerEngine(layer, CrossbarShape(36, 32), wq, CFG)
+        np.testing.assert_array_equal(
+            engine.mvm(xq[0]), engine.mvm_batch(xq)[0]
+        )
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    shape=st.sampled_from(
+        [
+            CrossbarShape(32, 32),
+            CrossbarShape(36, 32),
+            CrossbarShape(72, 64),
+            CrossbarShape(64, 64),
+        ]
+    ),
+    in_features=st.integers(1, 150),
+    out_features=st.integers(1, 70),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_fc_fuzz(shape, in_features, out_features, seed):
+    layer = LayerSpec.fc(in_features, out_features)
+    wq, xq = random_operands(layer, seed=seed)
+    assert_matches_reference(layer, shape, wq, xq)
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    shape=st.sampled_from([CrossbarShape(32, 32), CrossbarShape(36, 32)]),
+    in_channels=st.integers(1, 8),
+    out_channels=st.integers(1, 10),
+    kernel=st.sampled_from([1, 3, 5]),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_conv_fuzz(shape, in_channels, out_channels, kernel, seed):
+    layer = LayerSpec.conv(in_channels, out_channels, kernel)
+    wq, xq = random_operands(layer, seed=seed, batch=2)
+    assert_matches_reference(layer, shape, wq, xq)
