@@ -62,6 +62,8 @@ __all__ = [
     "lint_tree",
     "analyze_cache_safety",
     "analyze_memoized",
+    "analyze_concurrency",
+    "analyze_concurrency_tree",
 ]
 
 _CHECKER_NAMES = frozenset(
@@ -81,6 +83,9 @@ _LINT_NAMES = frozenset({"lint_source", "lint_tree", "lint_path"})
 _DATAFLOW_NAMES = frozenset(
     {"analyze_cache_safety", "analyze_memoized", "simulator_contract"}
 )
+_CONCURRENCY_NAMES = frozenset(
+    {"analyze_concurrency", "analyze_concurrency_tree", "concurrency_contract"}
+)
 
 
 def __getattr__(name: str) -> Any:
@@ -96,4 +101,8 @@ def __getattr__(name: str) -> Any:
         from . import dataflow
 
         return getattr(dataflow, name)
+    if name in _CONCURRENCY_NAMES:
+        from . import concurrency
+
+        return getattr(concurrency, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

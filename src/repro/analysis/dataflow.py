@@ -63,9 +63,17 @@ from .invariants import CAC001, CAC002, CAC003, PUR001, PUR002, Diagnostic
 
 @dataclass(frozen=True)
 class Instance:
-    """An instance of an indexed class."""
+    """An instance of an indexed class.
+
+    ``shared`` is escape provenance used by the concurrency analyzer:
+    instances that flow into a worker from outside (parameters, closures,
+    module globals, attributes of shared objects) are shared; instances a
+    worker constructs itself are fresh (``shared=False``) and cannot race.
+    The cache-safety rules ignore the flag.
+    """
 
     cls: ClassInfo
+    shared: bool = True
 
 
 @dataclass(frozen=True)
@@ -190,7 +198,8 @@ DEFAULT_SINK_BUILTINS: frozenset[str] = frozenset(
 #: container-mutator method names that count as mutation (PUR001)
 MUTATOR_METHODS: frozenset[str] = frozenset(
     {"append", "extend", "insert", "remove", "pop", "clear", "update",
-     "setdefault", "popitem", "add", "discard", "sort", "reverse"}
+     "setdefault", "popitem", "add", "discard", "sort", "reverse",
+     "move_to_end", "appendleft", "popleft", "extendleft", "rotate"}
 )
 
 
@@ -443,7 +452,7 @@ class _Analyzer:
         self._steps += 1
         if self._steps > _ANALYSIS_BUDGET:
             return UNKNOWN
-        key = (func, tuple(sorted((k, v) for k, v in bindings.items())))
+        key = self._memo_key(func, bindings)
         if key in self._memo:
             return self._memo[key]
         if key in self._active:
@@ -465,6 +474,12 @@ class _Analyzer:
             return ret
         finally:
             self._active.discard(key)
+
+    def _memo_key(self, func: FunctionInfo, bindings: Mapping[str, Value]) -> object:
+        """Memo key for one function analysis; subclasses fold extra
+        context (held locks, worker kind) in so findings that depend on
+        it are not skipped by a stale memo hit."""
+        return (func, tuple(sorted((k, v) for k, v in bindings.items())))
 
     def _bind_missing_params(self, func: FunctionInfo, env: _Env) -> None:
         args = func.node.args

@@ -224,6 +224,12 @@ def build_parser() -> argparse.ArgumentParser:
         "analysis over the memoized simulator call graph (CAC/PUR rules)",
     )
     p_check.add_argument(
+        "--concurrency", action="store_true",
+        help="run the static race detector over the worker fan-out call "
+        "graph (CON rules: shared writes, globals, pickling, RNG, "
+        "lock discipline)",
+    )
+    p_check.add_argument(
         "--ratchet", default=None, metavar="PATH",
         help="JSON file mapping rule id -> grandfathered finding count; "
         "any rule exceeding its baseline fails the check even at WARNING",
@@ -264,7 +270,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             raise SystemExit(f"check: cannot load {what}: {exc}") from exc
 
     report = Report()
-    targeted = args.cache_safety or any(
+    targeted = args.cache_safety or args.concurrency or any(
         v is not None
         for v in (args.config, args.shapes, args.model, args.plan, args.source)
     )
@@ -343,6 +349,13 @@ def cmd_check(args: argparse.Namespace) -> int:
         analysis_root = Path(args.source) if args.source else None
         print("checking cache-key soundness of the memoized simulator")
         report.extend(analyze_cache_safety(analysis_root))
+
+    if args.concurrency or not targeted:
+        from .analysis.concurrency import analyze_concurrency
+
+        analysis_root = Path(args.source) if args.source else None
+        print("checking concurrency safety of the worker fan-out paths")
+        report.extend(analyze_concurrency(analysis_root))
 
     exit_code = report.exit_code
     print(report.format())

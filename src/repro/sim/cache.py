@@ -218,17 +218,17 @@ class EvaluationCache:
             raise ValueError("max_size must be positive")
         if audit_interval < 0:
             raise ValueError("audit_interval must be >= 0 (0 disables audits)")
-        self.max_size = max_size
-        self.audit_interval = audit_interval
-        self._entries: OrderedDict[CacheKey, object] = OrderedDict()
+        self.max_size = max_size              # guarded-by: init-only
+        self.audit_interval = audit_interval  # guarded-by: init-only
+        self._entries: OrderedDict[CacheKey, object] = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._audit_clock = 0
-        self._audited = 0
-        self._audit_failures = 0
-        self._audit_findings: list[Diagnostic] = []
+        self._hits = 0                        # guarded-by: _lock
+        self._misses = 0                      # guarded-by: _lock
+        self._evictions = 0                   # guarded-by: _lock
+        self._audit_clock = 0                 # guarded-by: _lock
+        self._audited = 0                     # guarded-by: _lock
+        self._audit_failures = 0              # guarded-by: _lock
+        self._audit_findings: list[Diagnostic] = []  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     @staticmethod

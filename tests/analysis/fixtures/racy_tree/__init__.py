@@ -1,0 +1,21 @@
+"""A deliberately-racy miniature of the repro package layout.
+
+Laid out so :func:`repro.analysis.concurrency.analyze_concurrency` (and
+``repro check --concurrency --source <this dir>``) can index it as if it
+were the real package: the contract's declared fan-out roots resolve to
+``sim/simulator.py``'s ``Simulator.evaluate_many`` and
+``core/autohet.py``'s ``autohet_multi_seed``.  Each CON rule has one
+seeded positive case and a correct negative twin:
+
+* CON001 — ``EvaluationCache.probes`` bumped by thread workers with no
+  declared guard (vs ``hits``, declared and written under the lock);
+* CON002 — workers append to the module global ``_BEST_REWARDS``
+  (vs the clean variant returning values to the parent);
+* CON003 — ``evaluate_many_process`` ships the lock-holding cache into
+  a process pool (vs the ``replace(self, cache=None)`` variant);
+* CON004 — workers draw from ``random.random`` (vs a per-worker
+  ``random.Random(seed)``);
+* CON005 — ``EvaluationCache.reset_hits`` / ``RecordSink.drop_all``
+  write guarded attributes without the lock (vs the locked writers and
+  the ``# holds-lock:`` helper).
+"""

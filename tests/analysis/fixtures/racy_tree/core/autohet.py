@@ -1,0 +1,31 @@
+"""Fixture multi-seed search: global-mutation and shared-RNG races.
+
+``autohet_multi_seed``'s workers append to a module-level list (CON002)
+and draw from the shared ``random`` module RNG (CON004).  The clean
+variant seeds a per-worker ``random.Random`` and returns values to the
+parent — it must stay silent.
+"""
+
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+_BEST_REWARDS = []  # module-level mutable state the workers race on
+
+
+def autohet_multi_seed(seeds, rounds: int = 10):
+    def run(seed: int) -> float:
+        reward = random.random() * rounds  # CON004: shared module RNG
+        _BEST_REWARDS.append(reward)       # CON002: global mutation
+        return reward
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(run, seeds))
+
+
+def autohet_multi_seed_clean(seeds, rounds: int = 10):
+    def run(seed: int) -> float:
+        rng = random.Random(seed)  # negative: per-worker seeded RNG
+        return rng.random() * rounds
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(run, seeds))

@@ -1,0 +1,32 @@
+"""Fixture sink with a declared lock discipline — and one violation.
+
+No fan-out reaches ``RecordSink``; the CON005 finding on ``drop_all``
+proves the whole-class syntactic discipline pass runs even for code the
+worker traversal never visits.  ``emit`` (write under the lock) and
+``_append_locked`` (``# holds-lock:`` precondition) are the negative
+twins.
+"""
+
+import threading
+
+
+class RecordSink:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records = []  # guarded-by: _lock
+        self.emitted = 0    # guarded-by: _lock
+
+    def emit(self, record) -> None:
+        with self._lock:
+            self._records.append(record)
+            self.emitted += 1
+
+    def drop_all(self) -> None:
+        self._records.clear()  # CON005: declared guard, lock not held
+
+    def _append_locked(self, record) -> None:  # holds-lock: _lock
+        self._records.append(record)
+
+    def snapshot(self):
+        with self._lock:
+            return list(self._records)

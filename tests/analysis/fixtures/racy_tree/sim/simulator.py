@@ -1,0 +1,75 @@
+"""Fixture simulator with one seeded race per shared-state CON rule.
+
+``EvaluationCache.probes`` is bumped on every lookup *outside* any lock
+and declares no guard — the canonical CON001 finding once thread
+workers reach it through ``Simulator.evaluate_many``.  ``reset_hits``
+writes a ``# guarded-by:``-declared counter without taking the lock
+(CON005), and ``evaluate_many_process`` ships the lock-holding cache
+across a process boundary (CON003).  The negative twins — ``hits``
+under the lock, ``evaluate_many_process_clean``'s stripped copy — must
+stay silent.
+"""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+
+
+class EvaluationCache:
+    """Lock-guarded LRU stand-in with one unguarded counter."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries = {}  # guarded-by: _lock
+        self.hits = 0       # guarded-by: _lock
+        self.probes = 0     # seeded race: shared, mutated, no guard declared
+
+    def get(self, key):
+        self.probes += 1    # CON001: written by thread workers, no lock
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self.hits += 1
+            return value
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def reset_hits(self) -> None:
+        self.hits = 0       # CON005: declared guard, lock not held
+
+
+@dataclass
+class Simulator:
+    cache: EvaluationCache
+
+    def evaluate(self, item: int) -> int:
+        cached = self.cache.get(item)
+        if cached is not None:
+            return cached
+        value = item * item
+        self.cache.put(item, value)
+        return value
+
+    def evaluate_many(self, items, max_workers: int = 4):
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(self.evaluate, items))
+
+    def evaluate_many_process(self, items):
+        # CON003: ``self`` carries the lock-holding cache into the pool.
+        with ProcessPoolExecutor() as pool:
+            return list(pool.map(_evaluate_one_remote, ((self, i) for i in items)))
+
+    def evaluate_many_process_clean(self, items):
+        # Negative twin: the non-picklable state is stripped first.
+        worker = replace(self, cache=None)
+        with ProcessPoolExecutor() as pool:
+            return list(
+                pool.map(_evaluate_one_remote, ((worker, i) for i in items))
+            )
+
+
+def _evaluate_one_remote(args):
+    simulator, item = args
+    return simulator.evaluate(item)

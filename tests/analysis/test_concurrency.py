@@ -1,0 +1,549 @@
+"""Tests for the static race detector (CON rule family)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.callgraph import ModuleIndex
+from repro.analysis.concurrency import (
+    ConcurrencyContract,
+    analyze_concurrency,
+    analyze_concurrency_tree,
+    concurrency_contract,
+)
+from repro.cli import main
+
+FIXTURE_TREE = Path(__file__).parent / "fixtures" / "racy_tree"
+SRC_TREE = Path(__file__).parent.parent.parent / "src" / "repro"
+
+
+def rule_ids(diags):
+    return sorted({d.rule_id for d in diags})
+
+
+def run(source, **contract_kw):
+    index = ModuleIndex.from_sources({"fix": "", "fix.mod": source})
+    return analyze_concurrency_tree(index, ConcurrencyContract(**contract_kw))
+
+
+THREAD_PREFIX = (
+    "import threading\n"
+    "from concurrent.futures import ThreadPoolExecutor\n"
+)
+PROCESS_PREFIX = "from concurrent.futures import ProcessPoolExecutor\n"
+
+
+class TestCON001:
+    COUNTER = (
+        "class Counter:\n"
+        "    def __init__(self):\n"
+        "        self.total = 0\n"
+        "        self._lock = threading.Lock()\n"
+    )
+
+    def test_unguarded_write_from_thread_worker(self):
+        src = THREAD_PREFIX + self.COUNTER + (
+            "def fan(c: Counter):\n"
+            "    def work(x):\n"
+            "        c.total += 1\n"
+            "        return x\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, range(4)))\n"
+        )
+        diags = run(src)
+        assert rule_ids(diags) == ["CON001"]
+        (d,) = diags
+        assert "Counter" in d.message and ".total" in d.message
+
+    def test_write_under_lock_is_clean(self):
+        src = THREAD_PREFIX + self.COUNTER + (
+            "def fan(c: Counter):\n"
+            "    def work(x):\n"
+            "        with c._lock:\n"
+            "            c.total += 1\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, range(4)))\n"
+        )
+        assert run(src) == []
+
+    def test_write_inside_locked_method_is_clean(self):
+        src = THREAD_PREFIX + self.COUNTER + (
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self.total += 1\n"
+            "def fan(c: Counter):\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        return list(pool.map(c.bump, range(4)))\n"
+        )
+        assert run(src) == []
+
+    def test_worker_fresh_instance_is_clean(self):
+        # An object the worker constructs itself cannot race.
+        src = THREAD_PREFIX + self.COUNTER + (
+            "def fan():\n"
+            "    def work(x):\n"
+            "        mine = Counter()\n"
+            "        mine.total += 1\n"
+            "        return mine.total\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, range(4)))\n"
+        )
+        assert run(src) == []
+
+    def test_exempt_guard_token_is_clean(self):
+        src = THREAD_PREFIX + (
+            "class Counter:\n"
+            "    def __init__(self):\n"
+            "        self.total = 0  # guarded-by: worker-local\n"
+            "def fan(c: Counter):\n"
+            "    def work(x):\n"
+            "        c.total += 1\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, range(4)))\n"
+        )
+        assert run(src) == []
+
+    def test_mutator_call_on_shared_container_attr(self):
+        src = THREAD_PREFIX + (
+            "class Sink:\n"
+            "    def __init__(self):\n"
+            "        self.records = []\n"
+            "def fan(s: Sink):\n"
+            "    def work(x):\n"
+            "        s.records.append(x)\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, range(4)))\n"
+        )
+        assert "CON001" in rule_ids(run(src))
+
+    def test_submit_fans_out_too(self):
+        src = THREAD_PREFIX + self.COUNTER + (
+            "def fan(c: Counter):\n"
+            "    def work():\n"
+            "        c.total += 1\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        pool.submit(work)\n"
+        )
+        assert "CON001" in rule_ids(run(src))
+
+    def test_threading_thread_target_fans_out(self):
+        src = "import threading\n" + self.COUNTER + (
+            "def fan(c: Counter):\n"
+            "    def work():\n"
+            "        c.total += 1\n"
+            "    t = threading.Thread(target=work)\n"
+            "    t.start()\n"
+        )
+        assert "CON001" in rule_ids(run(src))
+
+    def test_outside_worker_context_is_clean(self):
+        src = THREAD_PREFIX + self.COUNTER + (
+            "def serial(c: Counter):\n"
+            "    c.total += 1\n"
+        )
+        assert run(src) == []
+
+
+class TestCON002:
+    def test_global_rebinding_in_worker(self):
+        src = THREAD_PREFIX + (
+            "_BEST = 0\n"
+            "def fan():\n"
+            "    def work(x):\n"
+            "        global _BEST\n"
+            "        _BEST = x\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, range(4)))\n"
+        )
+        assert rule_ids(run(src)) == ["CON002"]
+
+    def test_module_list_append_in_worker(self):
+        src = THREAD_PREFIX + (
+            "_LOG = []\n"
+            "def fan():\n"
+            "    def work(x):\n"
+            "        _LOG.append(x)\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, range(4)))\n"
+        )
+        assert rule_ids(run(src)) == ["CON002"]
+
+    def test_module_dict_store_in_worker(self):
+        src = THREAD_PREFIX + (
+            "_REGISTRY = {}\n"
+            "def fan():\n"
+            "    def work(x):\n"
+            "        _REGISTRY[x] = x\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, range(4)))\n"
+        )
+        assert rule_ids(run(src)) == ["CON002"]
+
+    def test_reading_module_state_is_clean(self):
+        src = THREAD_PREFIX + (
+            "_TABLE = {1: 2}\n"
+            "def fan():\n"
+            "    def work(x):\n"
+            "        return _TABLE.get(x)\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, range(4)))\n"
+        )
+        assert run(src) == []
+
+    def test_global_outside_worker_is_not_this_rules_business(self):
+        src = "_BEST = 0\ndef serial(x):\n    global _BEST\n    _BEST = x\n"
+        assert run(src) == []
+
+
+class TestCON003:
+    LOCKED = (
+        "import threading\n"
+        "class Cache:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+    )
+
+    def test_lock_holder_shipped_to_process_pool(self):
+        src = PROCESS_PREFIX + self.LOCKED + (
+            "def remote(c):\n"
+            "    return c\n"
+            "def fan(c: Cache):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        pool.submit(remote, c)\n"
+        )
+        diags = run(src)
+        assert rule_ids(diags) == ["CON003"]
+        (d,) = diags
+        assert "threading.Lock" in d.message
+
+    def test_closure_worker_not_picklable(self):
+        src = PROCESS_PREFIX + (
+            "def fan():\n"
+            "    def work(x):\n"
+            "        return x\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, range(4)))\n"
+        )
+        diags = run(src)
+        assert rule_ids(diags) == ["CON003"]
+        assert "closure" in diags[0].message
+
+    def test_open_file_in_init_is_a_hazard(self):
+        src = PROCESS_PREFIX + (
+            "class Writer:\n"
+            "    def __init__(self, path):\n"
+            "        self._fh = open(path, 'w')\n"
+            "def remote(w):\n"
+            "    return w\n"
+            "def fan(w: Writer):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        pool.submit(remote, w)\n"
+        )
+        assert "CON003" in rule_ids(run(src))
+
+    def test_hazard_through_annotated_field(self):
+        src = PROCESS_PREFIX + self.LOCKED + (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Sim:\n"
+            "    cache: Cache\n"
+            "def remote(s):\n"
+            "    return s\n"
+            "def fan(s: Sim):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        pool.submit(remote, s)\n"
+        )
+        assert "CON003" in rule_ids(run(src))
+
+    def test_replace_strips_the_hazard(self):
+        src = PROCESS_PREFIX + self.LOCKED + (
+            "from dataclasses import dataclass, replace\n"
+            "@dataclass\n"
+            "class Sim:\n"
+            "    cache: Cache\n"
+            "def remote(s):\n"
+            "    return s\n"
+            "def fan(s: Sim):\n"
+            "    worker = replace(s, cache=None)\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        pool.submit(remote, worker)\n"
+        )
+        assert run(src) == []
+
+    def test_inherited_hazard_and_allowlist(self):
+        base = self.LOCKED + (
+            "class Child(Cache):\n"
+            "    def __init__(self):\n"
+            "        super().__init__()\n"
+            "def remote(c):\n"
+            "    return c\n"
+            "def fan(c: Child):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        pool.submit(remote, c)\n"
+        )
+        src = PROCESS_PREFIX + base
+        assert "CON003" in rule_ids(run(src))
+        assert run(src, picklable_allowlist=frozenset({"Child"})) == []
+
+    def test_stateless_subclass_skipping_super_is_clean(self):
+        # NullTracer idiom: own __init__ that never chains to the base.
+        src = PROCESS_PREFIX + self.LOCKED + (
+            "class NullCache(Cache):\n"
+            "    def __init__(self):\n"
+            "        pass\n"
+            "def remote(c):\n"
+            "    return c\n"
+            "def fan(c: NullCache):\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        pool.submit(remote, c)\n"
+        )
+        assert run(src) == []
+
+    def test_thread_pool_does_not_pickle(self):
+        src = THREAD_PREFIX + self.LOCKED + (
+            "def remote(c):\n"
+            "    return c\n"
+            "def fan(c: Cache):\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        pool.submit(remote, c)\n"
+        )
+        assert run(src) == []
+
+
+class TestCON004:
+    def test_shared_module_rng_in_thread_worker(self):
+        src = THREAD_PREFIX + (
+            "import random\n"
+            "def fan():\n"
+            "    def work(x):\n"
+            "        return random.random()\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, range(4)))\n"
+        )
+        diags = run(src)
+        assert rule_ids(diags) == ["CON004"]
+        assert "random.random" in diags[0].message
+
+    def test_numpy_module_rng_in_worker(self):
+        src = THREAD_PREFIX + (
+            "import numpy as np\n"
+            "def fan():\n"
+            "    def work(x):\n"
+            "        return np.random.rand()\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, range(4)))\n"
+        )
+        assert rule_ids(run(src)) == ["CON004"]
+
+    def test_per_worker_seeded_rng_is_clean(self):
+        src = THREAD_PREFIX + (
+            "import random\n"
+            "import numpy as np\n"
+            "def fan():\n"
+            "    def work(seed):\n"
+            "        a = random.Random(seed).random()\n"
+            "        b = np.random.default_rng(seed).normal()\n"
+            "        return a + b\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, range(4)))\n"
+        )
+        assert run(src) == []
+
+    def test_rng_outside_worker_is_clean(self):
+        src = "import random\ndef serial():\n    return random.random()\n"
+        assert run(src) == []
+
+
+class TestCON005:
+    GUARDED = (
+        "import threading\n"
+        "class Sink:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.count = 0  # guarded-by: _lock\n"
+    )
+
+    def test_unlocked_write_caught_without_any_fan_out(self):
+        # The whole-class discipline pass needs no worker to reach it.
+        src = self.GUARDED + (
+            "    def reset(self):\n"
+            "        self.count = 0\n"
+        )
+        diags = run(src)
+        assert rule_ids(diags) == ["CON005"]
+        assert "guarded-by" in diags[0].message
+
+    def test_locked_write_is_clean(self):
+        src = self.GUARDED + (
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self.count += 1\n"
+        )
+        assert run(src) == []
+
+    def test_holds_lock_marker_is_honoured(self):
+        src = self.GUARDED + (
+            "    def _bump_locked(self):  # holds-lock: _lock\n"
+            "        self.count += 1\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._bump_locked()\n"
+        )
+        assert run(src) == []
+
+    def test_init_writes_are_exempt(self):
+        assert run(self.GUARDED) == []
+
+    def test_class_body_declaration_site(self):
+        src = (
+            "import threading\n"
+            "class Sink:\n"
+            "    count: int = 0  # guarded-by: _lock\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def reset(self):\n"
+            "        self.count = 0\n"
+        )
+        assert rule_ids(run(src)) == ["CON005"]
+
+    def test_mutator_call_on_guarded_container(self):
+        src = (
+            "import threading\n"
+            "class Sink:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.records = []  # guarded-by: _lock\n"
+            "    def drop(self):\n"
+            "        self.records.clear()\n"
+        )
+        assert rule_ids(run(src)) == ["CON005"]
+
+    def test_nested_closure_does_not_inherit_the_lock(self):
+        # The closure may run after the lock is released.
+        src = self.GUARDED + (
+            "    def deferred(self):\n"
+            "        with self._lock:\n"
+            "            def later():\n"
+            "                self.count += 1\n"
+            "            return later\n"
+        )
+        assert rule_ids(run(src)) == ["CON005"]
+
+    def test_unlocked_write_from_worker_traversal(self):
+        src = THREAD_PREFIX + (
+            "class Sink:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.count = 0  # guarded-by: _lock\n"
+            "def fan(s: Sink):\n"
+            "    def work(x):\n"
+            "        s.count += 1\n"
+            "    with ThreadPoolExecutor() as pool:\n"
+            "        return list(pool.map(work, range(4)))\n"
+        )
+        assert "CON005" in rule_ids(run(src))
+
+
+class TestContract:
+    def test_unresolvable_extra_root_raises(self):
+        index = ModuleIndex.from_sources({"fix": ""})
+        contract = ConcurrencyContract(extra_roots=("fix:missing",))
+        with pytest.raises(ValueError, match="missing"):
+            analyze_concurrency_tree(index, contract)
+
+    def test_repro_contract_roots_resolve_on_src(self):
+        index = ModuleIndex.from_package(SRC_TREE, "repro")
+        contract = concurrency_contract()
+        for root in contract.extra_roots:
+            assert index.resolve_qualname(root) is not None, root
+
+
+class TestFixtureTree:
+    def test_every_seeded_race_is_detected(self):
+        diags = analyze_concurrency(FIXTURE_TREE)
+        assert rule_ids(diags) == [
+            "CON001", "CON002", "CON003", "CON004", "CON005",
+        ]
+
+    def test_seeded_locations(self):
+        diags = analyze_concurrency(FIXTURE_TREE)
+        by_rule = {d.rule_id: [x.location for x in diags if x.rule_id == d.rule_id] for d in diags}
+        assert any("repro.sim.simulator" in loc for loc in by_rule["CON001"])
+        assert any("repro.core.autohet" in loc for loc in by_rule["CON002"])
+        assert any("repro.sim.simulator" in loc for loc in by_rule["CON003"])
+        assert any("repro.core.autohet" in loc for loc in by_rule["CON004"])
+        assert any("repro.obs.sinks" in loc for loc in by_rule["CON005"])
+        assert any("repro.sim.simulator" in loc for loc in by_rule["CON005"])
+
+    def test_negative_twins_stay_silent(self):
+        diags = analyze_concurrency(FIXTURE_TREE)
+        for d in diags:
+            assert "clean" not in d.message
+            assert "_append_locked" not in d.message
+            assert "emit" not in d.location
+
+
+class TestRealTree:
+    def test_src_is_race_free(self):
+        # The theorem the satellite work earns: zero ERROR findings over
+        # the real package, with no grandfathering.
+        assert analyze_concurrency(SRC_TREE) == []
+
+    def test_removing_a_lock_breaks_the_proof(self):
+        sources = {}
+        for path in sorted(SRC_TREE.rglob("*.py")):
+            rel = path.relative_to(SRC_TREE)
+            parts = list(rel.parts)
+            is_pkg = parts[-1] == "__init__.py"
+            parts = parts[:-1] if is_pkg else [*parts[:-1], parts[-1][:-3]]
+            name = ".".join(["repro", *parts]) if parts else "repro"
+            sources[name] = path.read_text()
+        tampered = sources["repro.sim.cache"].replace(
+            "        with self._lock:\n"
+            "            if key in self._entries:",
+            "        if True:\n"
+            "            if key in self._entries:",
+        )
+        assert tampered != sources["repro.sim.cache"]
+        sources["repro.sim.cache"] = tampered
+        index = ModuleIndex.from_sources(sources)
+        diags = analyze_concurrency_tree(index, concurrency_contract())
+        assert "CON005" in rule_ids(diags)
+
+
+class TestCheckCLI:
+    def test_concurrency_flag_passes_on_real_tree(self, capsys):
+        assert main(["check", "--concurrency"]) == 0
+        out = capsys.readouterr().out
+        assert "concurrency safety" in out
+
+    def test_fixture_tree_fails_with_all_rules(self, capsys):
+        assert main(
+            ["check", "--concurrency", "--source", str(FIXTURE_TREE)]
+        ) == 1
+        out = capsys.readouterr().out
+        for rule in ("CON001", "CON002", "CON003", "CON004", "CON005"):
+            assert rule in out
+
+    def test_ratchet_grandfathers_fixture_findings(self, tmp_path, capsys):
+        baseline = tmp_path / "ratchet.json"
+        baseline.write_text(
+            '{"CON001": 1, "CON002": 1, "CON003": 1, "CON004": 1, "CON005": 2}'
+        )
+        # Errors still fail the check; the ratchet only gates *new* ones.
+        assert main(
+            [
+                "check", "--concurrency",
+                "--source", str(FIXTURE_TREE),
+                "--ratchet", str(baseline),
+            ]
+        ) == 1
+
+    def test_empty_ratchet_baseline_passes_on_real_tree(self, capsys):
+        assert main(
+            ["check", "--concurrency", "--ratchet", ".github/diagnostic-ratchet.json"]
+        ) == 0
+
+    def test_default_sweep_includes_concurrency(self, capsys):
+        assert main(["check"]) == 0
+        assert "concurrency safety" in capsys.readouterr().out

@@ -31,7 +31,9 @@ class TestRegistry:
 
     def test_rule_families_present(self):
         families = {rid[:3] for rid in RULES}
-        assert families == {"CFG", "SHP", "MAP", "NET", "ALC", "LNT", "CAC", "PUR"}
+        assert families == {
+            "CFG", "SHP", "MAP", "NET", "ALC", "LNT", "CAC", "PUR", "CON",
+        }
 
     def test_lookup(self):
         assert rule("MAP001").anchor == "Eq. 4"

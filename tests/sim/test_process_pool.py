@@ -1,0 +1,111 @@
+"""The ``executor="process"`` path of ``Simulator.evaluate_many``.
+
+Worker processes receive a cache-less, tracer-less copy of the
+simulator (``replace(self, cache=None, tracer=NULL_TRACER)``); results
+are merged back into the parent's cache afterwards.  These tests pin
+the pickle boundary (the copy must actually cross it), the chunked
+dispatch, error propagation, and the merge-back contract.
+"""
+
+import pytest
+
+from repro.arch.config import DEFAULT_CANDIDATES, HardwareConfig
+from repro.sim.cache import EvaluationCache
+from repro.sim.simulator import CapacityError, Simulator
+
+
+def strategies_for(network, count=8):
+    shapes = DEFAULT_CANDIDATES
+    return [
+        tuple(shapes[(i + j) % len(shapes)] for j in range(network.num_layers))
+        for i in range(count)
+    ]
+
+
+def test_process_pool_matches_serial(tiny_net):
+    batch = strategies_for(tiny_net, count=6)
+    serial = Simulator().evaluate_many(tiny_net, batch)
+    parallel = Simulator().evaluate_many(
+        tiny_net, batch, executor="process", max_workers=2
+    )
+    assert parallel == serial
+
+
+def test_chunked_dispatch_preserves_order(tiny_net):
+    # chunksize = max(1, len(batch) // (4 * max_workers)); 9 items over
+    # 2 workers exercises chunks > 1 while leaving a ragged tail.
+    batch = strategies_for(tiny_net, count=9)
+    serial = Simulator().evaluate_many(tiny_net, batch)
+    parallel = Simulator().evaluate_many(
+        tiny_net, batch, executor="process", max_workers=2
+    )
+    assert parallel == serial
+    assert len(parallel) == len(batch)
+
+
+def test_capacity_error_crosses_the_process_boundary(tiny_net):
+    hopeless = Simulator(HardwareConfig(tiles_per_bank=1))
+    batch = strategies_for(tiny_net, count=4)
+    with pytest.raises(CapacityError):
+        hopeless.evaluate_many(
+            tiny_net,
+            batch,
+            executor="process",
+            max_workers=2,
+            skip_infeasible=False,
+        )
+
+
+def test_skip_infeasible_yields_none_entries(tiny_net):
+    hopeless = Simulator(HardwareConfig(tiles_per_bank=1))
+    batch = strategies_for(tiny_net, count=4)
+    results = hopeless.evaluate_many(
+        tiny_net, batch, executor="process", max_workers=2
+    )
+    assert results == [None] * len(batch)
+    # Infeasible outcomes are not merged back as cache entries.
+    assert hopeless.cache_stats().size == 0
+
+
+def test_results_merge_back_into_local_cache(tiny_net):
+    sim = Simulator()
+    batch = strategies_for(tiny_net, count=4)
+    results = sim.evaluate_many(
+        tiny_net, batch, executor="process", max_workers=2
+    )
+
+    stats = sim.cache_stats()
+    assert stats.size == len(set(batch))
+    # The parent never looked anything up — entries arrived via merge-back.
+    assert stats.lookups == 0
+
+    # A subsequent serial evaluation is served from the merged cache
+    # (``detailed=False`` to match ``evaluate_many``'s keying default).
+    again = sim.evaluate(tiny_net, batch[0], detailed=False)
+    assert again == results[0]
+    assert sim.cache_stats().hits == 1
+
+
+def test_cacheless_parent_skips_merge_back(tiny_net):
+    sim = Simulator(cache=None)
+    batch = strategies_for(tiny_net, count=3)
+    serial = Simulator().evaluate_many(tiny_net, batch)
+    assert (
+        sim.evaluate_many(tiny_net, batch, executor="process", max_workers=2)
+        == serial
+    )
+    assert sim.cache_stats() is None
+
+
+def test_worker_copy_does_not_mutate_parent_cache_counters(tiny_net):
+    # Pre-warm one entry, then fan out: workers run cache-less, so the
+    # parent's hit/miss counters must not move during the parallel phase.
+    sim = Simulator(cache=EvaluationCache(max_size=64))
+    batch = strategies_for(tiny_net, count=4)
+    sim.evaluate(tiny_net, batch[0], detailed=False)
+    before = sim.cache_stats()
+
+    sim.evaluate_many(tiny_net, batch, executor="process", max_workers=2)
+    after = sim.cache_stats()
+    assert (after.hits, after.misses) == (before.hits, before.misses)
+    assert after.size == len(set(batch))

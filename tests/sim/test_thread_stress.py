@@ -1,0 +1,113 @@
+"""Multi-threaded stress tests for the shared evaluation cache.
+
+``Simulator.evaluate_many(executor="thread")`` shares one simulator —
+and one :class:`EvaluationCache` — across every worker thread.  These
+tests hammer that path with eight workers and a batch built to collide
+(each strategy appears several times), then check the two properties the
+static analyzer can only assert statically:
+
+* the parallel results are bit-identical to the serial ones, and
+* the cache counters survive without lost updates
+  (``hits + misses == lookups`` and every entry is accounted for).
+"""
+
+import pytest
+
+from repro.arch.config import DEFAULT_CANDIDATES
+from repro.sim.cache import EvaluationCache
+from repro.sim.simulator import Simulator
+
+MAX_WORKERS = 8
+REPEATS = 6
+
+
+def strategies_for(network, count=8):
+    shapes = DEFAULT_CANDIDATES
+    return [
+        tuple(shapes[(i + j) % len(shapes)] for j in range(network.num_layers))
+        for i in range(count)
+    ]
+
+
+def colliding_batch(network, distinct=4, repeats=REPEATS):
+    """A batch where every strategy recurs, to force concurrent hits."""
+    base = strategies_for(network, count=distinct)
+    return base * repeats
+
+
+@pytest.mark.parametrize("net_fixture", ["tiny_net", "lenet_net"])
+def test_thread_pool_matches_serial_bit_for_bit(net_fixture, request):
+    network = request.getfixturevalue(net_fixture)
+    batch = colliding_batch(network)
+    serial = Simulator().evaluate_many(network, batch)
+
+    threaded = Simulator().evaluate_many(
+        network, batch, executor="thread", max_workers=MAX_WORKERS
+    )
+    assert threaded == serial
+
+
+def test_cache_counters_are_consistent_under_contention(lenet_net):
+    sim = Simulator()
+    batch = colliding_batch(lenet_net)
+    results = sim.evaluate_many(
+        lenet_net, batch, executor="thread", max_workers=MAX_WORKERS
+    )
+    assert all(m is not None for m in results)
+
+    stats = sim.cache_stats()
+    # No lost counter updates: every lookup is either a hit or a miss,
+    # and one evaluation ran per distinct strategy.
+    assert stats.hits + stats.misses == stats.lookups
+    assert stats.lookups == len(batch)
+    distinct = len(set(batch))
+    assert stats.misses == distinct
+    assert stats.hits == len(batch) - distinct
+    assert stats.size == distinct
+    assert stats.evictions == 0
+
+
+def test_warm_cache_serves_every_thread(lenet_net):
+    sim = Simulator()
+    batch = strategies_for(lenet_net, count=4)
+    warm = sim.evaluate_many(lenet_net, batch)
+
+    hot = sim.evaluate_many(
+        lenet_net, batch * REPEATS, executor="thread", max_workers=MAX_WORKERS
+    )
+    assert hot == warm * REPEATS
+    stats = sim.cache_stats()
+    assert stats.misses == len(batch)
+    assert stats.hits == stats.lookups - stats.misses
+
+
+def test_concurrent_eviction_keeps_counters_consistent(lenet_net):
+    # A cache smaller than the working set forces concurrent evictions.
+    sim = Simulator(cache=EvaluationCache(max_size=2))
+    batch = colliding_batch(lenet_net, distinct=6, repeats=4)
+    serial = Simulator().evaluate_many(lenet_net, batch)
+
+    results = sim.evaluate_many(
+        lenet_net, batch, executor="thread", max_workers=MAX_WORKERS
+    )
+    assert results == serial
+    stats = sim.cache_stats()
+    assert stats.hits + stats.misses == stats.lookups
+    assert stats.lookups == len(batch)
+    assert stats.size <= 2
+    assert stats.evictions == stats.misses - stats.size
+
+
+def test_repeated_stress_rounds_stay_deterministic(tiny_net):
+    batch = colliding_batch(tiny_net, distinct=3, repeats=4)
+    reference = Simulator().evaluate_many(tiny_net, batch)
+    for _ in range(3):
+        sim = Simulator()
+        assert (
+            sim.evaluate_many(
+                tiny_net, batch, executor="thread", max_workers=MAX_WORKERS
+            )
+            == reference
+        )
+        stats = sim.cache_stats()
+        assert stats.hits + stats.misses == stats.lookups
