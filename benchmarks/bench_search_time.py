@@ -11,10 +11,11 @@ paper reports 97% on MNSIM; our analytic simulator is far cheaper than
 MNSIM, so the measured share is lower — see EXPERIMENTS.md).
 
 The second benchmark measures what the caching stack recovers: annealing
-and coordinate-ascent searches on the cached simulator must run >= 2x
-faster than on the cold reference while reproducing its results
-bit-for-bit (docs/performance.md).  ``REPRO_BENCH_MODEL`` selects the
-workload (default ``vgg16``; CI's smoke job uses ``lenet``).
+and coordinate-ascent searches on the cached simulator must run >= 10x
+faster than on the cold reference at paper scale (>= 2x on the tiny CI
+smoke model) while reproducing its results bit-for-bit
+(docs/performance.md).  ``REPRO_BENCH_MODEL`` selects the workload
+(default ``vgg16``; CI's smoke job uses ``lenet``).
 """
 
 from conftest import run_once
@@ -52,7 +53,13 @@ def test_search_cache_speedup(benchmark):
         # The strategy-level cache must actually be exercised.
         assert comp.cache_stats.hits > 0, f"{comp.label}: no cache hits"
         assert comp.cache_stats.hit_rate > 0.0
-        # The caching stack's reason to exist: >= 2x wall-clock.
-        assert comp.speedup >= 2.0, (
-            f"{comp.label}: only {comp.speedup:.2f}x with cache enabled"
+        # On the paper-scale workload the caching + vectorized-kernel
+        # stack must recover an order of magnitude (measured ~60-90x);
+        # the CI smoke model (lenet) is too cheap per evaluation to
+        # amortise the batch overheads that far, so it keeps the
+        # original 2x floor.
+        floor = 10.0 if comp.model == "vgg16" else 2.0
+        assert comp.speedup >= floor, (
+            f"{comp.label}: only {comp.speedup:.2f}x with cache enabled "
+            f"(floor {floor}x on {comp.model})"
         )

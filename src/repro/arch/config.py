@@ -30,7 +30,7 @@ DACs (hence eight bit-serial input cycles), 10-bit ADCs, four PEs per tile,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from typing import Iterable
 
 from ..analysis.invariants import (
@@ -54,6 +54,14 @@ class CrossbarShape:
         diags = shape_dim_diagnostics(self.rows, self.cols, f"shape {self.rows}x{self.cols}")
         if diags:
             raise InvariantViolation(diags, "CrossbarShape")
+        # Shapes are hashed and stringified on simulator hot paths
+        # (grouping, shape-table gathers, SystemMetrics assembly);
+        # precompute both.  ``hash((rows, cols))`` is exactly the value
+        # the generated dataclass __hash__ would produce, and integer
+        # tuple hashes are stable across processes, so the stash is safe
+        # to pickle to pool workers.
+        object.__setattr__(self, "_hash", hash((self.rows, self.cols)))
+        object.__setattr__(self, "_str", f"{self.rows}x{self.cols}")
 
     @property
     def cells(self) -> int:
@@ -69,8 +77,11 @@ class CrossbarShape:
         """True for the paper's RXB shapes (height a multiple of 9, != width)."""
         return not self.is_square
 
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
     def __str__(self) -> str:  # e.g. "64x64", "36x32"
-        return f"{self.rows}x{self.cols}"
+        return self._str  # type: ignore[attr-defined]
 
     @staticmethod
     def parse(text: str) -> "CrossbarShape":
@@ -220,6 +231,20 @@ class HardwareConfig:
         )
         if diags:
             raise InvariantViolation(diags, "HardwareConfig")
+        # Configs key several hot-path memos (shape tables, network
+        # constants, pooling totals), so the 35-field tuple hash is paid
+        # multiple times per Simulator.evaluate.  Stash it once; every
+        # field is an int or float, whose hashes Python computes by a
+        # deterministic numeric algorithm (no per-process randomisation),
+        # so the stashed value survives pickling to pool workers.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(tuple(getattr(self, f.name) for f in fields(self))),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def validate_for_candidates(self, shapes: Iterable[CrossbarShape]) -> None:
         """Reject an ADC resolution inconsistent with the candidate rows.

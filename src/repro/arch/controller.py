@@ -148,7 +148,7 @@ class GlobalController:
                         size=layer.out_channels,
                     )
                 )
-            pool = _pool_after(self.network, idx)
+            pool = self.network.pool_after_or_none(idx)
             if pool is not None:
                 pooled = pool.output_size(layer.output_size) ** 2 * layer.out_channels
                 instructions.append(
@@ -163,10 +163,3 @@ class GlobalController:
         for ins in instructions:
             counts[ins.opcode] = counts.get(ins.opcode, 0) + 1
         return counts
-
-
-def _pool_after(network: Network, layer_index: int):
-    try:
-        return network.pool_after(layer_index)
-    except IndexError:
-        return None

@@ -35,6 +35,7 @@ import math
 from dataclasses import dataclass
 from functools import lru_cache
 
+from ..analysis.invariants import MAP003, InvariantViolation
 from ..models.layers import LayerSpec
 from .config import CrossbarShape
 
@@ -54,6 +55,28 @@ class LayerMapping:
     row_groups: int        #: crossbar rows in the array (Fig. 7 vertical tiling)
     col_groups: int        #: crossbar columns in the array
     kernel_split: bool     #: True when the k^2 > r fallback engaged
+
+    def __post_init__(self) -> None:
+        # A mapping describes at least one occupied crossbar; group counts
+        # below 1 would zero the per-MVM activity counts (ADC chain length,
+        # partial sums, conversions) instead of failing loudly.  Together
+        # with LayerSpec's positive-channel and CrossbarShape's SHP001
+        # positive-dimension validation this makes degenerate mappings
+        # (e.g. ``used_columns_per_crossbar_max == 0``) unconstructible.
+        diags = [
+            MAP003.diag(
+                f"LayerMapping(layer={self.layer.index}, shape={self.shape})",
+                f"{name} must be >= 1, got {value}",
+                hint="use map_layer(); it derives group counts from Eq. 4",
+            )
+            for name, value in (
+                ("row_groups", self.row_groups),
+                ("col_groups", self.col_groups),
+            )
+            if value < 1
+        ]
+        if diags:
+            raise InvariantViolation(diags, "LayerMapping")
 
     # ------------------------------------------------------------------
     @property

@@ -674,6 +674,131 @@ def search_cache_profile(
     return comparisons
 
 
+@dataclass(frozen=True)
+class VectorizedProfile:
+    """The NumPy kernel path timed against the scalar reference.
+
+    ``cold_single_us`` is the search-loop steady state: an evaluation
+    whose *strategy* has never been seen (no evaluation-cache entry) on a
+    simulator whose per-(network, config) shape tables are warm — the
+    state every search iteration after the first few runs in.
+    """
+
+    model: str
+    strategies: int                #: batch size scored
+    cold_single_us: float          #: vectorized cold-cache evaluate
+    scalar_single_us: float        #: materialising reference evaluate
+    serial_scalar_seconds: float   #: reference loop over the batch
+    batched_seconds: float         #: evaluate_many batched fast path
+    identical: bool                #: batched results == reference loop
+
+    @property
+    def single_speedup(self) -> float:
+        return (
+            self.scalar_single_us / self.cold_single_us
+            if self.cold_single_us
+            else 0.0
+        )
+
+    @property
+    def batch_speedup(self) -> float:
+        return (
+            self.serial_scalar_seconds / self.batched_seconds
+            if self.batched_seconds
+            else 0.0
+        )
+
+    @property
+    def batched_us_per_strategy(self) -> float:
+        return self.batched_seconds / self.strategies * 1e6
+
+
+def vectorized_kernel_profile(
+    *,
+    model: str | None = None,
+    strategies: int = 256,
+    seed: int = 0,
+) -> VectorizedProfile:
+    """Time the vectorized cost-model core against the scalar reference.
+
+    Scores ``strategies`` random candidate strategies three ways — the
+    materialising reference loop, one vectorized evaluation at a time
+    (cold cache), and the batched ``evaluate_many`` kernel path — and
+    checks the batched results reproduce the reference bit-for-bit
+    (infeasible verdicts included; docs/performance.md "Vectorized
+    kernels").
+    """
+    import numpy as np
+
+    name = model if model is not None else bench_model()
+    net = get_model(name)
+    rng = np.random.default_rng(seed)
+    batch = [
+        tuple(
+            DEFAULT_CANDIDATES[i]
+            for i in rng.integers(0, len(DEFAULT_CANDIDATES), size=net.num_layers)
+        )
+        for _ in range(strategies)
+    ]
+
+    reference = Simulator(cache=None, memoize_costs=False, vectorize=False)
+    t0 = time.perf_counter()
+    expected = [
+        reference.try_evaluate(net, s, detailed=False) for s in batch
+    ]
+    serial_seconds = time.perf_counter() - t0
+
+    batched_sim = Simulator()
+    t0 = time.perf_counter()
+    results = batched_sim.evaluate_many(net, batch)
+    batched_seconds = time.perf_counter() - t0
+
+    # Cold-cache single evaluations: no evaluation cache, so every call
+    # re-runs the kernels; the shape tables are warm after the batch ran
+    # on the same network object.
+    single_sim = Simulator(cache=None)
+    for s in batch[: min(8, len(batch))]:
+        single_sim.try_evaluate(net, s, detailed=False)
+    reps = min(len(batch), 64)
+    t0 = time.perf_counter()
+    for s in batch[:reps]:
+        single_sim.try_evaluate(net, s, detailed=False)
+    cold_single_us = (time.perf_counter() - t0) / reps * 1e6
+
+    scalar_reps = min(len(batch), 8)
+    t0 = time.perf_counter()
+    for s in batch[:scalar_reps]:
+        reference.try_evaluate(net, s, detailed=False)
+    scalar_single_us = (time.perf_counter() - t0) / scalar_reps * 1e6
+
+    return VectorizedProfile(
+        model=name,
+        strategies=len(batch),
+        cold_single_us=cold_single_us,
+        scalar_single_us=scalar_single_us,
+        serial_scalar_seconds=serial_seconds,
+        batched_seconds=batched_seconds,
+        identical=results == expected,
+    )
+
+
+def print_vectorized_profile(profile: VectorizedProfile) -> None:
+    print_table(
+        ["metric", "value"],
+        [
+            ("strategies scored", profile.strategies),
+            ("reference loop", f"{profile.serial_scalar_seconds:.3f} s"),
+            ("batched kernels", f"{profile.batched_seconds:.3f} s"),
+            ("batch speedup", f"{profile.batch_speedup:.1f}x"),
+            ("cold single evaluate", f"{profile.cold_single_us:.1f} us"),
+            ("scalar single evaluate", f"{profile.scalar_single_us:.1f} us"),
+            ("single speedup", f"{profile.single_speedup:.1f}x"),
+            ("bit-identical", profile.identical),
+        ],
+        title=f"Vectorized cost-model kernels ({profile.model})",
+    )
+
+
 def print_search_cache(comparisons: list[CacheComparison]) -> None:
     print_table(
         ["search", "cold_s", "cached_s", "speedup", "identical",

@@ -15,6 +15,7 @@ from .summary import (
     AllocationSummary,
     clear_summary_cache,
     summarize_allocation,
+    summarize_counts,
     summary_cache_info,
 )
 from .tile_shared import apply_tile_sharing, plan_tile_sharing
@@ -34,5 +35,6 @@ __all__ = [
     "layer_tiles_needed",
     "plan_tile_sharing",
     "summarize_allocation",
+    "summarize_counts",
     "summary_cache_info",
 ]

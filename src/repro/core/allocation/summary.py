@@ -79,22 +79,32 @@ def _shared_group_summary(
     tile's empty count, so this reproduces
     :func:`~repro.core.allocation.tile_shared.plan_tile_sharing` —
     including its stable sort and two-pointer walk — on plain integers.
+
+    Full tiles are never touched by the merge: a partial tile's empty
+    count is ``capacity - rem`` with ``rem >= 1``, so it is strictly below
+    ``capacity``, and the stable ascending sort puts every zero-empty full
+    tile at the head, where ``0 + tail_empties >= capacity`` can never
+    hold — the head pointer just walks past them.  The walk therefore runs
+    on the at-most-one partial tile per layer (``<= len(counts)`` items)
+    instead of the full tile expansion, which for a VGG16-sized strategy
+    is thousands of tiles.  Bit-identical by construction (stability keeps
+    the partial tiles' relative order unchanged when the zero prefix is
+    dropped); ``tests/allocation/test_summary.py`` pins the parity against
+    the materialised ``plan_tile_sharing`` path.
     """
-    # Tile-based expansion: each layer gets whole tiles, one layer per
-    # tile, in layer order (matching allocate_tile_based's tile ids).
-    owners: list[int] = []
-    empties: list[int] = []
+    surviving = [0] * len(counts)
+    partial_pos: list[int] = []
+    partial_empty: list[int] = []
     for pos, n in enumerate(counts):
         full, rem = divmod(n, capacity)
-        owners.extend([pos] * full)
-        empties.extend([0] * full)
+        surviving[pos] = full
         if rem:
-            owners.append(pos)
-            empties.append(capacity - rem)
+            partial_pos.append(pos)
+            partial_empty.append(capacity - rem)
     # Algorithm 1, lines 2-4: stable-sort ascending by empty count, then
     # merge tail tiles (most empties) into head tiles (fewest).
-    order = sorted(range(len(empties)), key=empties.__getitem__)
-    work = [empties[i] for i in order]
+    order = sorted(range(len(partial_empty)), key=partial_empty.__getitem__)
+    work = [partial_empty[i] for i in order]
     released = [False] * len(work)
     head, tail = 0, len(work) - 1
     while head < tail:
@@ -105,34 +115,43 @@ def _shared_group_summary(
             tail -= 1
         else:
             head += 1
-    surviving = [0] * len(counts)
     empty_total = 0
     for sorted_pos, orig in enumerate(order):
         if not released[sorted_pos]:
-            surviving[owners[orig]] += 1
+            surviving[partial_pos[orig]] += 1
             empty_total += work[sorted_pos]
     return tuple(surviving), empty_total
 
 
-def summarize_allocation(
-    mappings: Sequence[LayerMapping],
+def summarize_counts(
+    shapes: Sequence[CrossbarShape],
+    crossbar_counts: Sequence[int],
+    weight_cells: int,
     tile_capacity: int,
     *,
     tile_shared: bool,
     tracer: Tracer = NULL_TRACER,
 ) -> AllocationSummary:
-    """Aggregate allocation outcome for one mapped strategy.
+    """Aggregate allocation outcome from per-layer counts alone.
 
-    Produces the same numbers as ``allocate_tile_based`` (optionally
-    followed by ``apply_tile_sharing``) without materialising tiles.
+    The counts-based core of :func:`summarize_allocation`: everything the
+    aggregates need is the per-layer crossbar shape, the per-layer logical
+    crossbar count, and the total weight-cell count — no
+    :class:`~repro.arch.mapping.LayerMapping` objects.  This is the entry
+    point the vectorized batch scorer (``repro.sim.kernels``) uses, where
+    group counts live in NumPy arrays and mappings are never materialised.
     With an enabled ``tracer``, emits one ``alloc.group`` event per
-    same-shape group recording Algorithm 1's occupancy delta.  The
-    tracer never reaches the memoised group function — group outcomes
-    stay keyed on ``(capacity, counts)`` alone.
+    same-shape group recording Algorithm 1's occupancy delta.  The tracer
+    never reaches the memoised group function — group outcomes stay keyed
+    on ``(capacity, counts)`` alone.
     """
     if tile_capacity <= 0:
         raise ValueError("tile_capacity must be positive")
-    shapes = tuple(m.shape for m in mappings)
+    if len(shapes) != len(crossbar_counts):
+        raise ValueError(
+            f"{len(shapes)} shapes vs {len(crossbar_counts)} crossbar counts"
+        )
+    shapes = tuple(shapes)
     tiles_per_layer = [0] * len(shapes)
     occupied = 0
     empty = 0
@@ -141,10 +160,10 @@ def summarize_allocation(
         # Group layers by crossbar geometry, preserving layer order — the
         # same grouping apply_tile_sharing derives from the tile list.
         groups: dict[CrossbarShape, list[int]] = {}
-        for pos, mapping in enumerate(mappings):
-            groups.setdefault(mapping.shape, []).append(pos)
+        for pos, shape in enumerate(shapes):
+            groups.setdefault(shape, []).append(pos)
         for shape, members in groups.items():
-            counts = tuple(mappings[pos].num_crossbars for pos in members)
+            counts = tuple([crossbar_counts[pos] for pos in members])
             surviving, empty_total = _shared_group_summary(
                 tile_capacity, counts
             )
@@ -172,22 +191,45 @@ def summarize_allocation(
         # belongs to the layer that created it, so per-layer counts stay
         # attributable even after absorption.
     else:
-        for pos, mapping in enumerate(mappings):
-            full, rem = divmod(mapping.num_crossbars, tile_capacity)
+        for pos, shape in enumerate(shapes):
+            full, rem = divmod(crossbar_counts[pos], tile_capacity)
             count = full + (1 if rem else 0)
             tiles_per_layer[pos] = count
             occupied += count
             if rem:
                 empty += tile_capacity - rem
-            cells += count * tile_capacity * mapping.shape.cells
+            cells += count * tile_capacity * shape.cells
     return AllocationSummary(
         tile_capacity=tile_capacity,
         occupied_tiles=occupied,
         empty_crossbars=empty,
         allocated_cells=cells,
-        weight_cells=sum(m.weight_cells for m in mappings),
+        weight_cells=weight_cells,
         tiles_per_layer=tuple(tiles_per_layer),
         shapes_per_layer=shapes,
+    )
+
+
+def summarize_allocation(
+    mappings: Sequence[LayerMapping],
+    tile_capacity: int,
+    *,
+    tile_shared: bool,
+    tracer: Tracer = NULL_TRACER,
+) -> AllocationSummary:
+    """Aggregate allocation outcome for one mapped strategy.
+
+    Produces the same numbers as ``allocate_tile_based`` (optionally
+    followed by ``apply_tile_sharing``) without materialising tiles.
+    A thin wrapper over :func:`summarize_counts`.
+    """
+    return summarize_counts(
+        tuple(m.shape for m in mappings),
+        tuple(m.num_crossbars for m in mappings),
+        sum(m.weight_cells for m in mappings),
+        tile_capacity,
+        tile_shared=tile_shared,
+        tracer=tracer,
     )
 
 

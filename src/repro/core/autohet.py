@@ -287,6 +287,21 @@ def autohet_multi_seed(
     if not seeds:
         raise ValueError("need at least one seed")
     sim = simulator if simulator is not None else Simulator()
+    # Every seed's environment reset probes the |C| uniform strategies
+    # (``detailed=False``, matching the environment's keying); scoring
+    # them once as a kernel batch pre-warms the shared cache so each run
+    # — and each worker thread — starts on hits instead of racing to
+    # evaluate the same probes.
+    if sim.cache is not None:
+        sim.evaluate_many(
+            network,
+            [
+                tuple(shape for _ in range(network.num_layers))
+                for shape in candidates
+            ],
+            tile_shared=tile_shared,
+            detailed=False,
+        )
 
     def run(seed: int) -> SearchResult:
         return autohet_search(

@@ -89,10 +89,18 @@ def simulated_annealing(
 
     # Start from the best *feasible* uniform strategy (cheap,
     # deterministic), reusing the probe's metrics rather than paying a
-    # second evaluation of the chosen start.
-    uniform_probes = [
-        evaluate([i] * n) for i in range(len(candidates))
-    ]
+    # second evaluation of the chosen start.  The probes are mutually
+    # independent, so they run as one kernel batch; no search events are
+    # emitted per probe, so this is safe under a live tracer too (the
+    # batched path falls back to the serial loop itself in that case).
+    uniform_probes = sim.evaluate_many(
+        network,
+        [tuple(candidates[i] for _ in range(n)) for i in range(len(candidates))],
+        tile_shared=tile_shared,
+        detailed=False,
+    )
+    evaluations += len(uniform_probes)
+    infeasible += sum(1 for m in uniform_probes if m is None)
     feasible_starts = [
         (i, m) for i, m in enumerate(uniform_probes) if m is not None
     ]

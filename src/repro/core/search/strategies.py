@@ -159,14 +159,23 @@ def greedy_reward_strategy(
         for i in range(network.num_layers):
             best_shape = strategy[i]
             best_reward = -math.inf
-            for shape in candidates:
-                trial = list(strategy)
-                trial[i] = shape
-                evaluations += 1
-                metrics = sim.try_evaluate(
-                    network, tuple(trial), tile_shared=tile_shared, detailed=False
-                )
-                if tr.enabled:
+            # Each layer sweep scores |candidates| one-shape-changed
+            # variants — a natural (S, L) batch for the kernel scorer.
+            # With a live tracer the per-candidate loop is kept so the
+            # EVENT_CANDIDATE stream interleaves exactly as before;
+            # either way the winner is the first strict maximum in
+            # candidate order, and the counters are identical.
+            if tr.enabled:
+                for shape in candidates:
+                    trial = list(strategy)
+                    trial[i] = shape
+                    evaluations += 1
+                    metrics = sim.try_evaluate(
+                        network,
+                        tuple(trial),
+                        tile_shared=tile_shared,
+                        detailed=False,
+                    )
                     tr.event(
                         obs_metrics.EVENT_CANDIDATE,
                         search="greedy",
@@ -175,12 +184,29 @@ def greedy_reward_strategy(
                         feasible=metrics is not None,
                         reward=None if metrics is None else metrics.reward,
                     )
-                if metrics is None:
-                    infeasible += 1
-                    continue
-                if metrics.reward > best_reward:
-                    best_reward = metrics.reward
-                    best_shape = shape
+                    if metrics is None:
+                        infeasible += 1
+                        continue
+                    if metrics.reward > best_reward:
+                        best_reward = metrics.reward
+                        best_shape = shape
+            else:
+                trials = []
+                for shape in candidates:
+                    trial = list(strategy)
+                    trial[i] = shape
+                    trials.append(tuple(trial))
+                evaluations += len(trials)
+                scored = sim.evaluate_many(
+                    network, trials, tile_shared=tile_shared, detailed=False
+                )
+                for shape, metrics in zip(candidates, scored):
+                    if metrics is None:
+                        infeasible += 1
+                        continue
+                    if metrics.reward > best_reward:
+                        best_reward = metrics.reward
+                        best_shape = shape
             strategy[i] = best_shape
     if tr.enabled:
         tr.event(
@@ -220,13 +246,24 @@ def random_search(
     best: tuple[Strategy, SystemMetrics] | None = None
     infeasible = 0
     with tr.span(obs_metrics.SPAN_SEARCH, search="random", network=network.name):
-        for round_index in range(rounds):
-            picks = rng.integers(0, len(candidates), size=network.num_layers)
-            strategy = tuple(candidates[i] for i in picks)
-            metrics = sim.try_evaluate(
-                network, strategy, tile_shared=tile_shared, detailed=False
+        # Draw every round upfront — one rng.integers call per round, in
+        # round order, so the sample sequence is identical to the old
+        # per-round loop — then score the whole batch at once (the
+        # kernel scorer collapses duplicates to cache hits exactly like
+        # serial evaluation would).
+        samples = [
+            tuple(
+                candidates[i]
+                for i in rng.integers(0, len(candidates), size=network.num_layers)
             )
-            if tr.enabled:
+            for _ in range(rounds)
+        ]
+        if tr.enabled:
+            scored = []
+            for round_index, strategy in enumerate(samples):
+                metrics = sim.try_evaluate(
+                    network, strategy, tile_shared=tile_shared, detailed=False
+                )
                 tr.event(
                     obs_metrics.EVENT_CANDIDATE,
                     search="random",
@@ -234,6 +271,12 @@ def random_search(
                     feasible=metrics is not None,
                     reward=None if metrics is None else metrics.reward,
                 )
+                scored.append(metrics)
+        else:
+            scored = sim.evaluate_many(
+                network, samples, tile_shared=tile_shared, detailed=False
+            )
+        for strategy, metrics in zip(samples, scored):
             if metrics is None:
                 infeasible += 1
                 continue

@@ -115,6 +115,20 @@ class Network:
                     return None
         raise IndexError(f"layer index {layer_index} out of range")
 
+    def pool_after_or_none(self, layer_index: int) -> PoolSpec | None:
+        """:meth:`pool_after`, but ``None`` for an out-of-range index.
+
+        The single source of truth for "does a pooling stage follow this
+        layer?" used by every cost model (``repro.sim.energy`` /
+        ``latency`` / ``kernels``) and the controller walk — cost rollups
+        iterate candidate indices and must not treat a trailing layer as
+        an error.
+        """
+        try:
+            return self.pool_after(layer_index)
+        except IndexError:
+            return None
+
     def __iter__(self) -> Iterator[LayerSpec]:
         return iter(self.layers)
 

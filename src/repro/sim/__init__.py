@@ -7,6 +7,13 @@ from .area import (
     tile_area_um2,
 )
 from .cache import CacheStats, EvaluationCache, config_fingerprint, network_fingerprint
+from .kernels import (
+    MappingBatch,
+    NetworkArrays,
+    extract_mapping_batch,
+    extract_strategy_batch,
+    score_strategy_batch,
+)
 from .energy import (
     layer_adc_conversions,
     layer_dac_conversions,
@@ -27,6 +34,11 @@ __all__ = [
     "EvaluationCache",
     "config_fingerprint",
     "network_fingerprint",
+    "MappingBatch",
+    "NetworkArrays",
+    "extract_mapping_batch",
+    "extract_strategy_batch",
+    "score_strategy_batch",
     "layer_adc_conversions",
     "layer_dac_conversions",
     "layer_dynamic_energy",

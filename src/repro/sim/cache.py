@@ -89,8 +89,14 @@ FINGERPRINTED_FIELDS: Mapping[str, tuple[str, ...]] = {
 RESULT_INVARIANT_FIELDS: Mapping[str, tuple[str, ...]] = {
     # ``tracer`` only observes the evaluation (spans/events/counters);
     # the trace-invariance battery in ``tests/obs`` is the evidence that
-    # it never changes a metric bit.
-    "Simulator": ("cache", "memoize_costs", "tracer"),
+    # it never changes a metric bit.  ``vectorize`` selects the NumPy
+    # kernel path, which is bit-identical to the scalar reference
+    # (``tests/sim/test_vectorized_parity.py``).
+    "Simulator": ("cache", "memoize_costs", "tracer", "vectorize"),
+    # ``_hash`` / ``_str`` are ``__post_init__`` stashes derived purely
+    # from ``rows`` and ``cols``, which *are* fingerprinted — two shapes
+    # with equal fingerprints carry equal stashes by construction.
+    "CrossbarShape": ("_hash", "_str"),
 }
 
 
@@ -229,6 +235,9 @@ class EvaluationCache:
         self._audited = 0                     # guarded-by: _lock
         self._audit_failures = 0              # guarded-by: _lock
         self._audit_findings: list[Diagnostic] = []  # guarded-by: _lock
+        #: single-flight claims: key -> event set when the claimant is
+        #: done (entry inserted, or computation failed).
+        self._inflight: dict[CacheKey, threading.Event] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -258,6 +267,56 @@ class EvaluationCache:
         )
 
     # ------------------------------------------------------------------
+    def claim(self, key: CacheKey) -> tuple[str, object]:
+        """Single-flight lookup: hit, wait on the computing thread, or claim.
+
+        Returns one of::
+
+            ("hit", value)    # cached entry (counted as a hit)
+            ("wait", event)   # another thread holds the claim — wait on
+                              # the event, then call claim() again
+            ("claimed", None) # counted as a miss; the caller now OWNS the
+                              # claim and MUST call release(key) when done
+                              # (after put() on success)
+
+        A "wait" outcome is not counted at all: the logical lookup
+        resolves on the retry, as a hit once the claimant has inserted
+        the entry (or as a fresh miss if the claimant failed without
+        inserting).  This is what keeps the counter contract exact under
+        thread contention — one miss and one evaluation per distinct cold
+        key, duplicates resolving to hits — where a plain get/compute/put
+        sequence would double-evaluate whenever two threads miss the same
+        key concurrently (the NumPy kernels release the GIL, making that
+        interleaving routine; the pure-Python scalar path only dodged it
+        because its compute fits inside one GIL switch interval).
+        """
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                pass
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return ("hit", value)
+            event = self._inflight.get(key)
+            if event is not None:
+                return ("wait", event)
+            self._misses += 1
+            self._inflight[key] = threading.Event()
+            return ("claimed", None)
+
+    def release(self, key: CacheKey) -> None:
+        """Drop a claim taken via :meth:`claim` and wake every waiter.
+
+        Idempotent; call after :meth:`put` on success so waiters observe
+        the entry, and on *any* failure path so they can re-claim.
+        """
+        with self._lock:
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
+
     def get(self, key: CacheKey) -> object | None:
         """The cached value, or ``None`` on a miss (counts either way)."""
         with self._lock:

@@ -132,7 +132,7 @@ def pooling_energy(network: Network, config: HardwareConfig) -> float:
     """Energy of all pooling stages for one inference pass (nJ)."""
     total = 0.0
     for i, layer in enumerate(network.layers):
-        pool = _pool_after_safe(network, i)
+        pool = network.pool_after_or_none(i)
         if pool is None:
             continue
         pooled = pool.output_size(layer.output_size) ** 2 * layer.out_channels
@@ -166,10 +166,3 @@ def leakage_energy(
     )
     # nW * ns = 1e-18 J = 1e-9 nJ.
     return power_nw * latency_ns * 1e-9
-
-
-def _pool_after_safe(network: Network, layer_index: int):
-    try:
-        return network.pool_after(layer_index)
-    except IndexError:
-        return None

@@ -33,7 +33,11 @@ def mvm_latency_ns(mapping: LayerMapping, config: HardwareConfig) -> float:
     # Each ADC serially converts the `adc_sharing` bitlines muxed onto it;
     # all ADCs run in parallel, so the per-phase conversion chain is the
     # mux depth (1 with the default one-ADC-per-bitline organisation),
-    # capped by how many active bitlines a crossbar actually has.
+    # capped by how many active bitlines a crossbar actually has.  The cap
+    # is always >= 1: LayerSpec requires out_channels >= 1, CrossbarShape
+    # requires cols >= 1, and LayerMapping's MAP003 construction invariant
+    # rejects degenerate group counts — a zero chain (which would silently
+    # drop the ADC term) is unconstructible (tests/sim/test_vectorized_parity.py).
     chain = min(config.adc_sharing, mapping.used_columns_per_crossbar_max)
     analog_phase = (
         config.latency_dac_ns
@@ -70,10 +74,7 @@ def pooling_latency_ns(network: Network, config: HardwareConfig) -> float:
     """Latency of all pooling stages for one inference pass (ns)."""
     total = 0.0
     for i, layer in enumerate(network.layers):
-        try:
-            pool = network.pool_after(i)
-        except IndexError:
-            pool = None
+        pool = network.pool_after_or_none(i)
         if pool is None:
             continue
         pooled = pool.output_size(layer.output_size) ** 2 * layer.out_channels

@@ -14,6 +14,7 @@ Everything here is integer-exact, which is what makes the engine's
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -63,6 +64,13 @@ def quantize(x: np.ndarray, bits: int, *, signed: bool) -> QuantizedTensor:
             np.zeros(x.shape, dtype=np.int64), 1.0, bits, signed
         )
     scale = peak / qmax
+    if scale == 0.0:
+        # A subnormal peak can underflow ``peak / qmax`` to zero, and
+        # dividing by that turns zeros into NaN (cast to INT64_MIN) and
+        # everything else into ±inf.  Clamp to the smallest subnormal:
+        # every float below such a peak is an exact integer multiple of
+        # it, so the quantization is exact and stays inside [qmin, qmax].
+        scale = math.ulp(0.0)
     q = np.clip(np.round(x / scale), -qmax if signed else 0, qmax)
     return QuantizedTensor(q.astype(np.int64), scale, bits, signed)
 

@@ -41,11 +41,16 @@ from ..core.allocation import (
     allocate_tile_based,
     apply_tile_sharing,
 )
-from ..core.allocation.summary import AllocationSummary, summarize_allocation
+from ..core.allocation.summary import (
+    AllocationSummary,
+    summarize_allocation,
+    summarize_counts,
+)
 from ..models.graph import Network
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..obs.trace import NULL_TRACER, Tracer
+from . import kernels
 from .area import allocation_area_um2, area_from_tile_runs
 from .cache import EvaluationCache, _Infeasible
 from .energy import (
@@ -88,6 +93,12 @@ class Simulator:
     )
     #: memoise layer costs and use the aggregate allocation summary
     memoize_costs: bool = True
+    #: score evaluations with the NumPy batch kernels
+    #: (``repro.sim.kernels``) instead of the per-layer scalar loop.
+    #: Bit-identical results either way (``tests/sim/test_vectorized_parity.py``);
+    #: only effective alongside ``memoize_costs`` — the materialised
+    #: reference path always runs scalar.
+    vectorize: bool = True
     #: observability tracer; ``None`` (default) resolves the ambient
     #: tracer (``repro.obs.use_tracer``) at each call, which is the
     #: no-op ``NULL_TRACER`` unless tracing was explicitly enabled.
@@ -129,12 +140,23 @@ class Simulator:
         )
         if tile_shared:
             allocation = apply_tile_sharing(allocation, tracer=tracer)
-        if self.enforce_capacity and allocation.occupied_tiles > self.config.tiles_per_bank:
+        self._capacity_check(allocation.occupied_tiles)
+        return allocation
+
+    def _capacity_check(self, occupied_tiles: int) -> None:
+        """Raise :class:`CapacityError` when the bank overflows.
+
+        One formatting site for the error message — the cached
+        ``_Infeasible`` sentinels store it verbatim, so every evaluation
+        path (materialised, summary, vectorized, batch-scored) must
+        produce the identical string.  ``kernels.score_strategy_batch``
+        replicates this format.
+        """
+        if self.enforce_capacity and occupied_tiles > self.config.tiles_per_bank:
             raise CapacityError(
-                f"strategy needs {allocation.occupied_tiles} tiles; one bank "
+                f"strategy needs {occupied_tiles} tiles; one bank "
                 f"holds {self.config.tiles_per_bank}"
             )
-        return allocation
 
     def summarize(
         self,
@@ -155,14 +177,7 @@ class Simulator:
             tile_shared=tile_shared,
             tracer=tracer,
         )
-        if (
-            self.enforce_capacity
-            and summary.occupied_tiles > self.config.tiles_per_bank
-        ):
-            raise CapacityError(
-                f"strategy needs {summary.occupied_tiles} tiles; one bank "
-                f"holds {self.config.tiles_per_bank}"
-            )
+        self._capacity_check(summary.occupied_tiles)
         return summary
 
     # ------------------------------------------------------------------
@@ -187,6 +202,7 @@ class Simulator:
         if tracer is None:
             tracer = obs_trace._AMBIENT
         key = None
+        claimed = False
         if self.cache is not None:
             key = EvaluationCache.make_key(
                 self.config,
@@ -196,7 +212,18 @@ class Simulator:
                 detailed=detailed,
                 enforce_capacity=self.enforce_capacity,
             )
-            hit = self.cache.get(key)
+            # Single-flight protocol: a concurrent thread already
+            # evaluating this key parks us on its event; we then re-claim
+            # and (normally) take the hit path.  A "claimed" outcome makes
+            # this thread the one evaluator for the key — release() in
+            # every exit path below.
+            while True:
+                outcome, payload = self.cache.claim(key)
+                if outcome != "wait":
+                    break
+                payload.wait()
+            hit = payload if outcome == "hit" else None
+            claimed = outcome == "claimed"
             if isinstance(hit, _Infeasible):
                 if tracer.enabled:
                     tracer.event(
@@ -243,11 +270,19 @@ class Simulator:
                     network=network.name,
                     message=str(exc),
                 )
-            if key is not None and self.cache is not None:
+            if claimed and self.cache is not None:
                 self.cache.put(key, _Infeasible(str(exc)))
+                self.cache.release(key)
             raise
-        if key is not None and self.cache is not None:
+        except BaseException:
+            # Unexpected failure: surrender the claim without inserting
+            # so parked waiters re-claim and evaluate for themselves.
+            if claimed and self.cache is not None:
+                self.cache.release(key)
+            raise
+        if claimed and self.cache is not None:
             self.cache.put(key, metrics)
+            self.cache.release(key)
         if tracer.enabled:
             obs_metrics.emit_system_metrics(tracer, metrics, network=network.name)
         return metrics
@@ -294,6 +329,39 @@ class Simulator:
         tracer: Tracer = NULL_TRACER,
     ) -> SystemMetrics:
         cfg = self.config
+        if self.memoize_costs and self.vectorize:
+            # Vectorized fast path: one fancy-index gather of the
+            # per-(network, config) shape table (repro.sim.kernels) plus
+            # array folds, never materialising LayerMapping objects.
+            # Bit-identical to the scalar paths below — the parity
+            # battery is the proof.
+            with tracer.span(obs_metrics.SPAN_MAP, network=network.name):
+                net, floats, ints = kernels.strategy_view(
+                    network, strategy, cfg
+                )
+            with tracer.span(obs_metrics.SPAN_ALLOCATE, mode="summary"):
+                summary = summarize_counts(
+                    strategy,
+                    tuple(ints[kernels._I_XBARS].tolist()),
+                    net.weight_cells_total,
+                    cfg.logical_xbars_per_tile,
+                    tile_shared=tile_shared,
+                    tracer=tracer,
+                )
+                self._capacity_check(summary.occupied_tiles)
+            with tracer.span(obs_metrics.SPAN_COST, layers=len(strategy)):
+                return kernels.metrics_from_view(
+                    network,
+                    strategy,
+                    net,
+                    floats,
+                    ints,
+                    summary,
+                    cfg,
+                    tile_shared=tile_shared,
+                    detailed=detailed,
+                )
+
         with tracer.span(obs_metrics.SPAN_MAP, network=network.name):
             mappings = self.map_network(network, strategy)
 
@@ -429,6 +497,27 @@ class Simulator:
         if executor not in ("thread", "process"):
             raise ValueError(f"unknown executor {executor!r}")
 
+        tracer = self.tracer
+        if tracer is None:
+            tracer = obs_trace._AMBIENT
+        # Serial batches take the (S, L) kernel scorer when nothing needs
+        # the per-call evaluate machinery: no tracer events to interleave,
+        # no audit sampling to replay, and infeasible entries collapse to
+        # ``None`` (``skip_infeasible``).  Anything else falls through to
+        # the loop below — results are bit-identical either way.
+        if (
+            self.vectorize
+            and self.memoize_costs
+            and skip_infeasible
+            and len(batch) > 1
+            and (max_workers is None or max_workers <= 1)
+            and not tracer.enabled
+            and (self.cache is None or self.cache.audit_interval <= 0)
+        ):
+            return self._evaluate_many_batched(
+                network, batch, tile_shared=tile_shared, detailed=detailed
+            )
+
         def one(strategy: Strategy) -> SystemMetrics | None:
             if skip_infeasible:
                 return self.try_evaluate(
@@ -451,7 +540,7 @@ class Simulator:
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=max_workers
             ) as pool:
-                results = list(
+                outcomes = list(
                     pool.map(
                         _evaluate_one_remote,
                         (
@@ -461,9 +550,14 @@ class Simulator:
                         chunksize=max(1, len(batch) // (4 * max_workers)),
                     )
                 )
+            # Merge *every* outcome back: metrics and `_Infeasible`
+            # sentinels alike.  An infeasible strategy crossing the pickle
+            # boundary comes back as the sentinel (carrying the
+            # CapacityError message) so subsequent lookups hit the cache
+            # instead of re-paying the failed allocation.
             if self.cache is not None:
-                for strategy, metrics in zip(batch, results):
-                    if metrics is None:
+                for strategy, outcome in zip(batch, outcomes):
+                    if outcome is None:
                         continue
                     self.cache.put(
                         EvaluationCache.make_key(
@@ -474,14 +568,113 @@ class Simulator:
                             detailed=detailed,
                             enforce_capacity=self.enforce_capacity,
                         ),
-                        metrics,
+                        outcome,
                     )
-            return results
+            return [
+                None if isinstance(outcome, _Infeasible) else outcome
+                for outcome in outcomes
+            ]
 
         import concurrent.futures
 
         with concurrent.futures.ThreadPoolExecutor(max_workers=max_workers) as pool:
             return list(pool.map(one, batch))
+
+    def _evaluate_many_batched(
+        self,
+        network: Network,
+        batch: list[Strategy],
+        *,
+        tile_shared: bool,
+        detailed: bool,
+    ) -> list[SystemMetrics | None]:
+        """Serial batch evaluation through the ``(S, L)`` kernel scorer.
+
+        Replicates the serial loop's cache protocol — one lookup per
+        strategy, one insert per cold unique strategy, duplicate
+        occurrences resolving to hits — while scoring every cold strategy
+        in a single kernel pass.
+        """
+        results: list[SystemMetrics | None] = [None] * len(batch)
+        if self.cache is None:
+            unique: dict[Strategy, list[int]] = {}
+            for i, strategy in enumerate(batch):
+                unique.setdefault(strategy, []).append(i)
+            scored = kernels.score_strategy_batch(
+                network,
+                list(unique),
+                self.config,
+                tile_shared=tile_shared,
+                enforce_capacity=self.enforce_capacity,
+                detailed=detailed,
+            )
+            for positions, outcome in zip(unique.values(), scored):
+                value = (
+                    None
+                    if isinstance(outcome, kernels.InfeasibleScore)
+                    else outcome
+                )
+                for i in positions:
+                    results[i] = value
+            return results
+
+        keys = [
+            EvaluationCache.make_key(
+                self.config,
+                network,
+                strategy,
+                tile_shared=tile_shared,
+                detailed=detailed,
+                enforce_capacity=self.enforce_capacity,
+            )
+            for strategy in batch
+        ]
+        to_score: list[int] = []
+        pending: set[object] = set()
+        # Duplicates of a cold key defer their lookup until after the
+        # scored results are inserted, so they register as cache hits
+        # exactly like the serial loop's second visit would.
+        deferred: list[int] = []
+        for i, key in enumerate(keys):
+            if key in pending:
+                deferred.append(i)
+                continue
+            hit = self.cache.get(key)
+            if isinstance(hit, _Infeasible):
+                results[i] = None
+            elif hit is not None:
+                results[i] = hit  # type: ignore[assignment]
+            else:
+                pending.add(key)
+                to_score.append(i)
+        if to_score:
+            scored = kernels.score_strategy_batch(
+                network,
+                [batch[i] for i in to_score],
+                self.config,
+                tile_shared=tile_shared,
+                enforce_capacity=self.enforce_capacity,
+                detailed=detailed,
+            )
+            for i, outcome in zip(to_score, scored):
+                if isinstance(outcome, kernels.InfeasibleScore):
+                    self.cache.put(keys[i], _Infeasible(outcome.message))
+                    results[i] = None
+                else:
+                    self.cache.put(keys[i], outcome)
+                    results[i] = outcome
+        for i in deferred:
+            hit = self.cache.get(keys[i])
+            if hit is None:
+                # Evicted between the insert and this lookup (a cache
+                # smaller than the batch) — re-evaluate like the serial
+                # loop would on its own miss.
+                results[i] = self.try_evaluate(
+                    network, batch[i], tile_shared=tile_shared, detailed=detailed
+                )
+            else:
+                results[i] = None if isinstance(hit, _Infeasible) else hit  # type: ignore[assignment]
+        return results
 
     # ------------------------------------------------------------------
     def evaluate_homogeneous(
@@ -500,13 +693,20 @@ class Simulator:
         return self.cache.stats() if self.cache is not None else None
 
 
-def _evaluate_one_remote(args) -> SystemMetrics | None:
-    """Process-pool worker: evaluate one strategy on a shipped simulator."""
+def _evaluate_one_remote(args) -> SystemMetrics | _Infeasible:
+    """Process-pool worker: evaluate one strategy on a shipped simulator.
+
+    Infeasible strategies return the ``_Infeasible`` sentinel (picklable —
+    it carries only the ``CapacityError`` message) rather than ``None``,
+    so the parent can merge the verdict into its cache and later batches
+    hit instead of re-paying the failed allocation.
+    """
     simulator, network, strategy, tile_shared, detailed, skip_infeasible = args
-    if skip_infeasible:
-        return simulator.try_evaluate(
+    try:
+        return simulator.evaluate(
             network, strategy, tile_shared=tile_shared, detailed=detailed
         )
-    return simulator.evaluate(
-        network, strategy, tile_shared=tile_shared, detailed=detailed
-    )
+    except CapacityError as exc:
+        if skip_infeasible:
+            return _Infeasible(str(exc))
+        raise

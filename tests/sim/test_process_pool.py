@@ -63,8 +63,42 @@ def test_skip_infeasible_yields_none_entries(tiny_net):
         tiny_net, batch, executor="process", max_workers=2
     )
     assert results == [None] * len(batch)
-    # Infeasible outcomes are not merged back as cache entries.
-    assert hopeless.cache_stats().size == 0
+    # Infeasible outcomes merge back as sentinel entries, exactly like
+    # the serial path caches them — a repeat batch is answered entirely
+    # from the cache without re-dispatching to workers.
+    stats = hopeless.cache_stats()
+    assert stats.size == len(set(batch))
+    again = hopeless.evaluate_many(tiny_net, batch)
+    assert again == [None] * len(batch)
+    after = hopeless.cache_stats()
+    assert after.hits - stats.hits == len(batch)
+    assert after.misses == stats.misses
+
+
+def test_mixed_feasible_infeasible_merge_back(tiny_net):
+    # A batch whose members straddle the capacity limit: feasible results
+    # and infeasible sentinels must both merge into the parent cache, and
+    # the merged entries must answer serial re-evaluation identically.
+    # tiles_per_bank=4 sits between the all-big strategy (2 tiles) and
+    # the all-small strategy (35 tiles) on the tiny net.
+    config = HardwareConfig(tiles_per_bank=4)
+    sim = Simulator(config)
+    small = min(DEFAULT_CANDIDATES, key=lambda s: s.cells)
+    big = max(DEFAULT_CANDIDATES, key=lambda s: s.cells)
+    batch = [
+        tuple(big for _ in range(tiny_net.num_layers)),
+        tuple(small for _ in range(tiny_net.num_layers)),
+    ]
+    serial = Simulator(config).evaluate_many(tiny_net, batch)
+    assert serial[0] is not None and serial[1] is None
+    results = sim.evaluate_many(
+        tiny_net, batch, executor="process", max_workers=2
+    )
+    assert results == serial
+    assert sim.cache_stats().size == len(batch)
+    before = sim.cache_stats()
+    assert sim.evaluate_many(tiny_net, batch) == serial
+    assert sim.cache_stats().hits - before.hits == len(batch)
 
 
 def test_results_merge_back_into_local_cache(tiny_net):

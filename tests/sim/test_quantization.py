@@ -1,5 +1,7 @@
 """Tests for quantization, offset encoding, and bit slicing."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -32,6 +34,16 @@ class TestQuantize:
         q = quantize(np.zeros(5), 8, signed=True)
         assert np.array_equal(q.values, np.zeros(5))
         assert q.scale == 1.0
+
+    def test_subnormal_peak_does_not_underflow_the_scale(self):
+        # peak / qmax underflowed to 0.0 for subnormal peaks, turning
+        # zeros into NaN (cast to INT64_MIN) and the rest into inf.
+        smallest = math.ulp(0.0)
+        for signed in (False, True):
+            q = quantize(np.array([smallest, 0.0]), 8, signed=signed)
+            assert q.scale > 0.0
+            assert list(q.values) == [1, 0]
+            assert np.array_equal(q.dequantize(), [smallest, 0.0])
 
     def test_rejects_nonpositive_bits(self):
         with pytest.raises(ValueError):

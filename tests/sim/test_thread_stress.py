@@ -98,6 +98,51 @@ def test_concurrent_eviction_keeps_counters_consistent(lenet_net):
     assert stats.evictions == stats.misses - stats.size
 
 
+def test_single_flight_dedupes_concurrent_misses(tiny_net, monkeypatch):
+    """Concurrent misses on one key run the evaluation exactly once.
+
+    The NumPy kernel path releases the GIL, so without the cache's
+    single-flight claim protocol two threads could both miss the same
+    key and evaluate it twice (the pure-Python scalar path only dodged
+    this because its compute fits inside one GIL switch interval).  A
+    deliberately slow evaluation makes the pre-fix race deterministic:
+    every thread would miss before the first one finished.
+    """
+    import threading
+    import time
+
+    sim = Simulator()
+    strategy = strategies_for(tiny_net, count=1)[0]
+    calls = []
+    original = Simulator._evaluate_impl
+
+    def slow_impl(self, *args, **kwargs):
+        calls.append(1)
+        time.sleep(0.05)
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(Simulator, "_evaluate_impl", slow_impl)
+    results = []
+    threads = [
+        threading.Thread(
+            target=lambda: results.append(
+                sim.evaluate(tiny_net, strategy, detailed=False)
+            )
+        )
+        for _ in range(MAX_WORKERS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert len(calls) == 1
+    assert len(set(map(id, results))) == 1  # every thread got the one entry
+    stats = sim.cache_stats()
+    assert (stats.misses, stats.hits) == (1, MAX_WORKERS - 1)
+    assert stats.hits + stats.misses == stats.lookups
+
+
 def test_repeated_stress_rounds_stay_deterministic(tiny_net):
     batch = colliding_batch(tiny_net, distinct=3, repeats=4)
     reference = Simulator().evaluate_many(tiny_net, batch)
