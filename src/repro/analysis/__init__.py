@@ -15,6 +15,10 @@ violates Eq. 4 bounds or Algorithm 1's accounting.  Three layers:
 * :mod:`repro.analysis.callgraph` / :mod:`repro.analysis.dataflow` — the
   interprocedural cache-key soundness and purity analysis behind
   ``repro check --cache-safety`` (CAC/PUR rule families).
+* :mod:`repro.analysis.numeric` — NumPy-aware numeric-safety pass over
+  ``sim/`` behind ``repro check --numeric`` (NUM rule family).
+* :mod:`repro.analysis.kernel_parity` — scalar-vs-vectorized read-set
+  parity behind ``repro check --kernel-parity`` (PAR rule family).
 
 ``repro check`` (see :mod:`repro.cli`) drives all three and exits
 nonzero on ERROR diagnostics; `docs/static_analysis.md` catalogues every
@@ -64,6 +68,11 @@ __all__ = [
     "analyze_memoized",
     "analyze_concurrency",
     "analyze_concurrency_tree",
+    "analyze_numeric",
+    "numeric_findings",
+    "analyze_kernel_parity",
+    "analyze_kernel_parity_tree",
+    "kernel_parity_contract",
 ]
 
 _CHECKER_NAMES = frozenset(
@@ -86,6 +95,15 @@ _DATAFLOW_NAMES = frozenset(
 _CONCURRENCY_NAMES = frozenset(
     {"analyze_concurrency", "analyze_concurrency_tree", "concurrency_contract"}
 )
+_NUMERIC_NAMES = frozenset({"analyze_numeric", "numeric_findings"})
+_KERNEL_PARITY_NAMES = frozenset(
+    {
+        "analyze_kernel_parity",
+        "analyze_kernel_parity_tree",
+        "kernel_parity_contract",
+        "ParityContract",
+    }
+)
 
 
 def __getattr__(name: str) -> Any:
@@ -105,4 +123,12 @@ def __getattr__(name: str) -> Any:
         from . import concurrency
 
         return getattr(concurrency, name)
+    if name in _NUMERIC_NAMES:
+        from . import numeric
+
+        return getattr(numeric, name)
+    if name in _KERNEL_PARITY_NAMES:
+        from . import kernel_parity
+
+        return getattr(kernel_parity, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -309,6 +309,87 @@ CON005 = _r(
     "not declare `# holds-lock: <lock>`), so the declared discipline is "
     "broken.",
 )
+LNT008 = _r(
+    "LNT008", "no literal dtype casts in kernel hot loops", Severity.ERROR,
+    "repo rule",
+    "Inside a loop in sim/kernels.py, bare float()/np.float32()/"
+    "np.float64()/np.int32()/np.int64() casts silently coerce per-element "
+    "values and mask the dtype drift NUM001 exists to catch; hoist the "
+    "cast out of the loop (or build the array with an explicit dtype= "
+    "argument) or allowlist the function in KERNEL_CAST_ALLOWLIST with a "
+    "reason.",
+)
+NUM001 = _r(
+    "NUM001", "implicit dtype promotion or narrowing", Severity.ERROR,
+    "parity contract",
+    "An arithmetic expression mixes arrays of different explicit dtypes "
+    "(int32 with int64, float32 with float64, or an int array folded "
+    "into float32) — NumPy promotes or narrows silently, and the result "
+    "no longer matches the scalar reference bit-for-bit.",
+)
+NUM002 = _r(
+    "NUM002", "order-sensitive float reduction", Severity.ERROR,
+    "parity contract",
+    "np.sum / np.dot / np.matmul / np.einsum on float operands use "
+    "pairwise or blocked summation whose rounding depends on length and "
+    "layout; the scalar reference folds strictly left-to-right.  Use the "
+    "cumsum idiom (repro.sim.kernels.left_fold) for bit-identical "
+    "reductions, or mark the site `# numeric-ok: NUM002 (<reason>)` if "
+    "exactness is not required there.",
+)
+NUM003 = _r(
+    "NUM003", "unguarded division, log, or sqrt", Severity.ERROR,
+    "parity contract",
+    "A division, np.log, or np.sqrt consumes a value that dataflow says "
+    "can be zero or negative (np.zeros, a literal zero element, a "
+    "subtraction) with no guard in sight — the kernel mints inf/nan that "
+    "the scalar reference would have raised on.",
+)
+NUM004 = _r(
+    "NUM004", "float equality comparison", Severity.ERROR,
+    "parity contract",
+    "== / != against a float value inside the numeric kernels: rounding "
+    "differences between the scalar and vectorized paths make exact "
+    "float equality a latent divergence.  Compare against integers, use "
+    "tolerances, or mark a deliberate exact-sentinel check "
+    "`# numeric-ok: NUM004 (<reason>)`.",
+)
+NUM005 = _r(
+    "NUM005", "nan/inf-propagating sink", Severity.ERROR,
+    "parity contract",
+    "A value that can carry nan or inf (an explicit np.nan/np.inf fill, "
+    "or the result of an unguarded division) flows into min/max/argmin/"
+    "argmax/sort or an ordering comparison without an np.isfinite guard "
+    "— nan poisons the comparison and the winner is arbitrary (the "
+    "shape of the PR 7 quantize-subnormal bug).",
+)
+PAR001 = _r(
+    "PAR001", "scalar read not vectorized", Severity.ERROR,
+    "parity contract",
+    "The scalar cost path (Simulator.evaluate through energy/latency/"
+    "area/summary) reads an attribute that KERNEL_COVERAGE does not map "
+    "to a kernel column — or maps to a column that no longer exists — "
+    "so the vectorized path cannot see that input and the two "
+    "implementations silently desynchronize.",
+)
+PAR002 = _r(
+    "PAR002", "dead kernel column", Severity.WARNING,
+    "parity contract",
+    "A kernel array column (NetworkArrays/MappingBatch field, ShapeTable "
+    "row) is neither the target of a KERNEL_COVERAGE entry nor declared "
+    "derived in KERNEL_DERIVED_COLUMNS — or a declared entry points at a "
+    "column/read that no longer exists — dead weight that drifts from "
+    "the scalar source of truth without any test noticing.",
+)
+PAR003 = _r(
+    "PAR003", "kernel constant diverging from scalar source of truth",
+    Severity.ERROR, "parity contract",
+    "A replicated kernel constant is out of sync with its scalar source "
+    "of truth: a row-registry tuple-unpack disagrees with the declared "
+    "row names, a derived MappingBatch column has no same-named "
+    "LayerMapping counterpart, or the kernels' replica of a scalar "
+    "error-message format string has drifted from the reference site.",
+)
 
 
 class InvariantViolation(ValueError):

@@ -17,6 +17,9 @@ LNT005  no bare ``assert`` in ``core/allocation`` invariants
 LNT006  no ``functools.lru_cache`` / ``functools.cache`` on instance methods
 LNT007  no direct ``logging.getLogger`` / ``logging.basicConfig`` outside
         ``obs/`` — subsystems log through ``repro.obs.log``
+LNT008  no literal dtype casts (``float()``, ``np.float32()``, ...) inside
+        loops in the kernel hot path (``sim/kernels.py``) — a per-element
+        cast scalarizes the batch math the module exists to vectorize
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ from .invariants import (
     LNT005,
     LNT006,
     LNT007,
+    LNT008,
     Diagnostic,
 )
 
@@ -53,6 +57,45 @@ STATEFUL_MARKER = "# stateful:"
 #: are deliberately memoised per-instance (none today; additions need a
 #: review of the self-in-key lifetime hazard they reintroduce)
 CACHED_METHOD_ALLOWLIST: frozenset[str] = frozenset()
+
+#: module paths (relative, POSIX) whose loops are kernel hot paths —
+#: LNT008 forbids per-element dtype casts inside them
+KERNEL_HOT_PATH_PREFIXES = ("sim/kernels.py",)
+
+#: ``"relpath::function"`` entries exempt from LNT008 — functions whose
+#: in-loop casts are deliberate (none today; additions need a rationale
+#: for why the cast cannot hoist to a single ``.astype`` before the loop)
+KERNEL_CAST_ALLOWLIST: frozenset[str] = frozenset()
+
+#: builtin scalar constructors LNT008 treats as literal casts
+_SCALAR_CAST_NAMES = frozenset({"float", "int"})
+
+#: NumPy scalar-type constructors LNT008 treats as literal casts
+_NP_CAST_NAMES = frozenset(
+    {"float16", "float32", "float64", "int8", "int16", "int32", "int64",
+     "uint8", "uint16", "uint32", "uint64"}
+)
+
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While, ast.ListComp, ast.SetComp,
+               ast.DictComp, ast.GeneratorExp)
+
+
+def _cast_callee(node: ast.AST) -> str | None:
+    """``"float"`` / ``"np.float32"`` when *node* is a literal dtype cast."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _SCALAR_CAST_NAMES:
+        return func.id
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _NP_CAST_NAMES
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+    ):
+        return f"np.{func.attr}"
+    return None
+
 
 def _memo_decorator_name(dec: ast.expr) -> str | None:
     """The memoising decorator's short name, or None.
@@ -270,6 +313,38 @@ def lint_source(source: str, rel_path: str) -> list[Diagnostic]:
                     hint="raise InvariantViolation with a Diagnostic instead",
                 )
             )
+
+    # LNT008 — literal dtype casts inside kernel hot loops.  A float()
+    # or np.float32() per element turns the batch kernel back into the
+    # scalar loop it replaced; the cast belongs on the whole array, once,
+    # before the loop.
+    if rel_path.startswith(KERNEL_HOT_PATH_PREFIXES):
+        flagged: set[tuple[int, int]] = set()
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if f"{rel_path}::{func.name}" in KERNEL_CAST_ALLOWLIST:
+                continue
+            for loop in ast.walk(func):
+                if not isinstance(loop, _LOOP_NODES):
+                    continue
+                for sub in ast.walk(loop):
+                    callee = _cast_callee(sub)
+                    key = (sub.lineno, sub.col_offset) if callee else None
+                    if callee is None or key in flagged:
+                        continue
+                    flagged.add(key)  # type: ignore[arg-type]
+                    out.append(
+                        LNT008.diag(
+                            f"{rel_path}:{sub.lineno}",
+                            f"per-element {callee}() cast inside a kernel "
+                            f"hot loop in {func.name}()",
+                            hint="hoist the cast to one .astype on the whole "
+                            f"array before the loop, or add "
+                            f"'{rel_path}::{func.name}' to "
+                            "KERNEL_CAST_ALLOWLIST with a rationale",
+                        )
+                    )
     return out
 
 

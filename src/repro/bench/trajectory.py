@@ -1,0 +1,122 @@
+"""Append pytest-benchmark runs to a repo-root performance trajectory.
+
+The bench-smoke CI job produces one ``--benchmark-json`` report per run
+and uploads it as an artifact — useful for inspecting *that* run, useless
+for asking "did the kernels get slower over the last month?".  This
+module keeps the longitudinal answer in the repository itself: a
+JSON-array trajectory file (``BENCH_vectorized.json`` /
+``BENCH_search_time.json`` at the repo root) to which each CI run appends
+one compact record — timestamp, commit, and per-benchmark mean plus the
+``extra_info`` gates the benchmarks publish (speedups, hit rates,
+per-strategy microseconds).
+
+Usage (what the CI steps run)::
+
+    python -m repro.bench.trajectory bench-vectorized.json BENCH_vectorized.json
+
+The commit id comes from ``--commit``, else ``$GITHUB_SHA``, else the
+report's own ``commit_info``.  The file is bounded (oldest records drop
+past ``--max-entries``) so it stays reviewable in diffs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+#: default bound on trajectory length — one CI run per entry
+DEFAULT_MAX_ENTRIES = 200
+
+
+def compact_record(report: dict[str, Any], commit: str | None = None) -> dict[str, Any]:
+    """One trajectory entry from a full pytest-benchmark report."""
+    if commit is None:
+        commit = os.environ.get("GITHUB_SHA") or report.get(
+            "commit_info", {}
+        ).get("id")
+    benchmarks = []
+    for bench in report.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        benchmarks.append(
+            {
+                "name": bench.get("name"),
+                "mean_s": stats.get("mean"),
+                "stddev_s": stats.get("stddev"),
+                "rounds": stats.get("rounds"),
+                "extra_info": bench.get("extra_info", {}),
+            }
+        )
+    return {
+        "datetime": report.get("datetime"),
+        "commit": commit,
+        "benchmarks": benchmarks,
+    }
+
+
+def append_record(
+    bench_json: str | Path,
+    trajectory_json: str | Path,
+    *,
+    commit: str | None = None,
+    max_entries: int = DEFAULT_MAX_ENTRIES,
+) -> dict[str, Any]:
+    """Append ``bench_json``'s compact record to ``trajectory_json``.
+
+    Creates the trajectory file if missing; raises :class:`ValueError`
+    when an existing file does not hold a JSON array (the trajectory is
+    append-only history — refusing beats clobbering).  Returns the
+    record appended.
+    """
+    report = json.loads(Path(bench_json).read_text())
+    if not isinstance(report, dict):
+        raise ValueError(f"{bench_json}: not a pytest-benchmark report object")
+    trajectory_path = Path(trajectory_json)
+    if trajectory_path.exists():
+        history = json.loads(trajectory_path.read_text())
+        if not isinstance(history, list):
+            raise ValueError(f"{trajectory_json}: expected a JSON array")
+    else:
+        history = []
+    record = compact_record(report, commit=commit)
+    history.append(record)
+    if max_entries > 0:
+        history = history[-max_entries:]
+    trajectory_path.write_text(json.dumps(history, indent=2) + "\n")
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.trajectory",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("bench_json", help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("trajectory_json", help="trajectory file to append to")
+    parser.add_argument(
+        "--commit", default=None,
+        help="commit id to stamp (default: $GITHUB_SHA, else the report's)",
+    )
+    parser.add_argument(
+        "--max-entries", type=int, default=DEFAULT_MAX_ENTRIES,
+        help="keep at most this many records (0 = unbounded)",
+    )
+    args = parser.parse_args(argv)
+    record = append_record(
+        args.bench_json,
+        args.trajectory_json,
+        commit=args.commit,
+        max_entries=args.max_entries,
+    )
+    names = ", ".join(b["name"] or "?" for b in record["benchmarks"])
+    print(
+        f"appended {len(record['benchmarks'])} benchmark(s) to "
+        f"{args.trajectory_json}: {names}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -230,6 +230,17 @@ def build_parser() -> argparse.ArgumentParser:
         "lock discipline)",
     )
     p_check.add_argument(
+        "--numeric", action="store_true",
+        help="run the NumPy-aware numeric-safety pass over sim/ (NUM "
+        "rules: dtype mixing, order-sensitive reductions, unguarded "
+        "division/log/sqrt, float equality, nan/inf sinks)",
+    )
+    p_check.add_argument(
+        "--kernel-parity", action="store_true",
+        help="cross-check the scalar cost path's attribute read-set "
+        "against the vectorized kernel coverage tables (PAR rules)",
+    )
+    p_check.add_argument(
         "--ratchet", default=None, metavar="PATH",
         help="JSON file mapping rule id -> grandfathered finding count; "
         "any rule exceeding its baseline fails the check even at WARNING",
@@ -270,9 +281,17 @@ def cmd_check(args: argparse.Namespace) -> int:
             raise SystemExit(f"check: cannot load {what}: {exc}") from exc
 
     report = Report()
-    targeted = args.cache_safety or args.concurrency or any(
-        v is not None
-        for v in (args.config, args.shapes, args.model, args.plan, args.source)
+    targeted = (
+        args.cache_safety
+        or args.concurrency
+        or args.numeric
+        or args.kernel_parity
+        or any(
+            v is not None
+            for v in (
+                args.config, args.shapes, args.model, args.plan, args.source
+            )
+        )
     )
 
     shapes = (
@@ -356,6 +375,20 @@ def cmd_check(args: argparse.Namespace) -> int:
         analysis_root = Path(args.source) if args.source else None
         print("checking concurrency safety of the worker fan-out paths")
         report.extend(analyze_concurrency(analysis_root))
+
+    if args.numeric or not targeted:
+        from .analysis.numeric import analyze_numeric
+
+        analysis_root = Path(args.source) if args.source else None
+        print("checking numeric safety of the simulator tree")
+        report.extend(analyze_numeric(analysis_root))
+
+    if args.kernel_parity or not targeted:
+        from .analysis.kernel_parity import analyze_kernel_parity
+
+        analysis_root = Path(args.source) if args.source else None
+        print("checking scalar/vectorized kernel parity")
+        report.extend(analyze_kernel_parity(analysis_root))
 
     exit_code = report.exit_code
     print(report.format())

@@ -60,6 +60,10 @@ __all__ = [
     "NetworkArrays",
     "MappingBatch",
     "InfeasibleScore",
+    "KERNEL_COVERAGE",
+    "KERNEL_DERIVED_COLUMNS",
+    "SHAPE_TABLE_FLOAT_ROWS",
+    "SHAPE_TABLE_INT_ROWS",
     "network_arrays",
     "extract_mapping_batch",
     "extract_strategy_batch",
@@ -94,6 +98,102 @@ def left_fold(values: np.ndarray) -> np.ndarray:
 def _ceil_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Exact integer ``ceil(a / b)`` for positive operands."""
     return -(-a // b)
+
+
+# ----------------------------------------------------------------------
+# Kernel parity coverage contract (PAR rules)
+# ----------------------------------------------------------------------
+#
+# The scalar cost path and these kernels must agree bit-for-bit, which
+# first requires them to agree on *inputs*: every attribute the scalar
+# path reads on the objects this module restructures into arrays must be
+# folded into some kernel column.  These tables declare that mapping —
+# the exact analogue of ``repro.sim.cache.FINGERPRINTED_FIELDS`` for the
+# vectorized fork — and ``repro.analysis.kernel_parity`` cross-checks
+# them against the dataflow read-set of ``Simulator.evaluate`` (PAR001)
+# and against the columns this module actually defines (PAR002).  See
+# docs/static_analysis.md ("The kernel coverage-table contract").
+
+#: Scalar read -> kernel column.  Outer key: a class the kernels
+#: restructure into arrays; inner key: a field of it the scalar cost
+#: path reads; value: the kernel columns that carry it.  Two sentinel
+#: targets exist besides ``"Class.column"``: ``"builder"`` (the value is
+#: passed through by the batch scorer itself, e.g. ``Network.name`` into
+#: ``SystemMetrics``) and ``"shared"`` (both paths call the same shared
+#: code on the same object, e.g. ``CrossbarShape.__str__``).
+KERNEL_COVERAGE: dict[str, dict[str, tuple[str, ...]]] = {
+    "LayerSpec": {
+        "index": ("NetworkArrays.layer_indices",),
+        "layer_type": ("NetworkArrays.mvm_ops",),
+        "input_size": ("NetworkArrays.mvm_ops",),
+        "stride": ("NetworkArrays.mvm_ops",),
+        "padding": ("NetworkArrays.mvm_ops",),
+        "kernel_size": ("NetworkArrays.kernel_elems",),
+        "in_channels": ("NetworkArrays.in_channels",),
+        "out_channels": ("NetworkArrays.out_channels",),
+    },
+    "PoolSpec": {
+        "window": ("NetworkArrays.pooled_elems",),
+        "stride": ("NetworkArrays.pooled_elems",),
+    },
+    "Network": {
+        "stages": ("NetworkArrays.num_layers",),
+        "name": ("builder",),
+    },
+    "Stage": {
+        "layer": ("NetworkArrays.num_layers",),
+        "pool": ("NetworkArrays.pooled_elems",),
+    },
+    "CrossbarShape": {
+        "rows": ("MappingBatch.rows",),
+        "cols": ("MappingBatch.cols",),
+        "_str": ("shared",),
+    },
+    "LayerMapping": {
+        "layer": ("MappingBatch.net",),
+        "shape": ("MappingBatch.rows", "MappingBatch.cols"),
+        "row_groups": ("MappingBatch.row_groups",),
+        "col_groups": ("MappingBatch.col_groups",),
+    },
+}
+
+#: Kernel columns that are *derived* from covered columns rather than
+#: read directly from scalar objects (products, group counts, ShapeTable
+#: rows — each the output of a scalar cost function).  Every column of
+#: :class:`NetworkArrays` / :class:`MappingBatch` and every
+#: :class:`ShapeTable` row must appear either as a KERNEL_COVERAGE
+#: target or here; anything else is a dead column (PAR002).  Derived
+#: ``MappingBatch`` columns must mirror a same-named
+#: :class:`~repro.arch.mapping.LayerMapping` member (PAR003).
+KERNEL_DERIVED_COLUMNS: dict[str, tuple[str, ...]] = {
+    "NetworkArrays": ("weight_counts", "in_bytes", "weight_cells_total"),
+    "MappingBatch": (
+        "kernel_split",
+        "num_crossbars",
+        "used_columns_total",
+        "allocated_columns_total",
+        "used_rows_total",
+        "allocated_rows_total",
+        "partial_sum_adds",
+        "adder_tree_depth",
+        "used_columns_per_crossbar_max",
+    ),
+    "ShapeTable": (
+        "adc",
+        "dac",
+        "crossbar",
+        "shift_add",
+        "adder_tree",
+        "buffer",
+        "bus",
+        "layer_latency_ns",
+        "tile_area_um2",
+        "utilization",
+        "num_crossbars",
+        "adc_conversions",
+        "dac_conversions",
+    ),
+}
 
 
 # ----------------------------------------------------------------------
@@ -540,6 +640,29 @@ def pooling_totals(
 # fancy-index gather of that table plus the fold kernels.  Gathering
 # copies the exact float64 values the kernels produced, so the table path
 # is bit-identical to computing each strategy from scratch.
+
+#: Row names of :attr:`ShapeTable.floats`, in row order.  The parity
+#: analyzer (PAR003) checks these registries against the ``_F_*`` /
+#: ``_I_*`` index unpacks below, so adding a row in one place but not
+#: the other fails ``repro check --kernel-parity``.
+SHAPE_TABLE_FLOAT_ROWS: tuple[str, ...] = (
+    "adc",
+    "dac",
+    "crossbar",
+    "shift_add",
+    "adder_tree",
+    "buffer",
+    "bus",
+    "layer_latency_ns",
+    "tile_area_um2",
+    "utilization",
+)
+#: Row names of :attr:`ShapeTable.ints`, in row order.
+SHAPE_TABLE_INT_ROWS: tuple[str, ...] = (
+    "num_crossbars",
+    "adc_conversions",
+    "dac_conversions",
+)
 
 #: Row order of :attr:`ShapeTable.floats`.
 (_F_ADC, _F_DAC, _F_XBAR, _F_SHIFT, _F_TREE, _F_BUF, _F_BUS,

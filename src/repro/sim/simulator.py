@@ -150,7 +150,10 @@ class Simulator:
         ``_Infeasible`` sentinels store it verbatim, so every evaluation
         path (materialised, summary, vectorized, batch-scored) must
         produce the identical string.  ``kernels.score_strategy_batch``
-        replicates this format.
+        replicates this format; the parity analyzer (PAR003) checks the
+        two f-strings against each other, and
+        ``tests/sim/test_infeasible_messages.py`` proves the runtime
+        strings byte-identical across paths.
         """
         if self.enforce_capacity and occupied_tiles > self.config.tiles_per_bank:
             raise CapacityError(

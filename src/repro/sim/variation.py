@@ -54,7 +54,7 @@ class VariationModel:
     @property
     def flip_probability(self) -> float:
         """Probability a 1-bit cell reads the wrong level under variation."""
-        if self.conductance_sigma == 0.0:
+        if self.conductance_sigma == 0.0:  # numeric-ok: NUM004 (exact disabled-sentinel check)
             return 0.0
         from math import erf, log, sqrt
 
@@ -64,9 +64,9 @@ class VariationModel:
     @property
     def is_ideal(self) -> bool:
         return (
-            self.conductance_sigma == 0.0
-            and self.stuck_at_on == 0.0
-            and self.stuck_at_off == 0.0
+            self.conductance_sigma == 0.0  # numeric-ok: NUM004 (exact disabled-sentinel check)
+            and self.stuck_at_on == 0.0  # numeric-ok: NUM004 (exact disabled-sentinel check)
+            and self.stuck_at_off == 0.0  # numeric-ok: NUM004 (exact disabled-sentinel check)
         )
 
 

@@ -1,0 +1,64 @@
+"""Fixture sim tree for the NUM rules — one positive/negative twin per rule.
+
+Every ``bad_*`` function commits exactly one numeric hazard; its ``ok_*``
+twin is the sanctioned form of the same computation (explicit promotion,
+the cumsum left-fold, a guard, a waiver comment, an isfinite filter).
+``tests/analysis/test_numeric.py`` asserts the analyzer flags precisely
+the five bad functions and nothing else.
+"""
+
+import numpy as np
+
+
+def bad_dtype_mix(n):
+    a = np.zeros(n, dtype=np.int32)
+    b = np.ones(n, dtype=np.int64)
+    return a + b  # NUM001: int32 widened silently
+
+
+def ok_dtype_mix(n):
+    a = np.zeros(n, dtype=np.int64)
+    b = np.ones(n, dtype=np.float64)
+    return a + b  # int64 -> float64 is the scalar path's own promotion
+
+
+def bad_reduction(values):
+    batch = np.asarray(values).astype(np.float64)
+    return np.sum(batch)  # NUM002: pairwise accumulation
+
+
+def ok_reduction(values):
+    batch = np.asarray(values).astype(np.float64)
+    return np.cumsum(batch)[-1]  # the sanctioned left-fold idiom
+
+
+def bad_division(counts):
+    weights = np.zeros(4, dtype=np.float64)
+    return counts / weights  # NUM003: denominator can be zero
+
+
+def ok_division(counts):
+    weights = np.zeros(4, dtype=np.float64)
+    if np.all(weights > 0):
+        return counts / weights
+    return counts
+
+
+def bad_float_equality(scale):
+    return scale == 1.5  # NUM004: exact float equality
+
+
+def ok_float_equality(scale):
+    return scale == 1.5  # numeric-ok: NUM004 (deliberate sentinel twin)
+
+
+def bad_nan_sink(scores):
+    masked = np.asarray(scores) - np.inf
+    return np.argmin(masked)  # NUM005: nan poisons the argmin
+
+
+def ok_nan_sink(scores):
+    masked = np.asarray(scores) - np.inf
+    if np.all(np.isfinite(masked)):
+        return np.argmin(masked)
+    return -1

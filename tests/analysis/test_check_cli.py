@@ -148,6 +148,69 @@ class TestCheckCacheSafety:
         assert "cache-key soundness" in capsys.readouterr().out
 
 
+class TestCheckNumeric:
+    FIXTURE = "tests/analysis/fixtures/unsafe_numeric_tree"
+
+    def test_real_tree_is_numerically_clean(self, capsys):
+        assert main(["check", "--numeric"]) == 0
+        out = capsys.readouterr().out
+        assert "numeric safety" in out
+        assert "check passed" in out
+
+    def test_unsafe_fixture_reports_every_num_rule(self, capsys):
+        from pathlib import Path
+
+        fixture = Path(__file__).parent / "fixtures" / "unsafe_numeric_tree"
+        assert main(["check", "--numeric", "--source", str(fixture)]) == 1
+        out = capsys.readouterr().out
+        for rule in ("NUM001", "NUM002", "NUM003", "NUM004", "NUM005"):
+            assert rule in out
+
+    def test_default_invocation_includes_numeric(self, capsys):
+        assert main(["check"]) == 0
+        assert "numeric safety" in capsys.readouterr().out
+
+
+class TestCheckKernelParity:
+    def test_real_tree_satisfies_parity(self, capsys):
+        assert main(["check", "--kernel-parity"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel parity" in out
+        assert "check passed" in out
+
+    def test_divergent_fixture_reports_par_rules(self, capsys):
+        from pathlib import Path
+
+        fixture = Path(__file__).parent / "fixtures" / "divergent_kernel_tree"
+        assert main(["check", "--kernel-parity", "--source", str(fixture)]) == 1
+        out = capsys.readouterr().out
+        assert "PAR001" in out
+        assert "PAR002" in out
+        assert "PAR003" in out
+
+    def test_default_invocation_includes_kernel_parity(self, capsys):
+        assert main(["check"]) == 0
+        assert "kernel parity" in capsys.readouterr().out
+
+    def test_parity_warnings_ratchet_even_at_zero_exit(self, tmp_path, capsys):
+        # PAR002 is a WARNING (exit 0 alone) but the shared zero-baseline
+        # ratchet still fails the build on it; prove the wiring end to
+        # end on the divergent fixture where errors already force exit 1
+        # and the ratchet lines name every PAR rule.
+        from pathlib import Path
+
+        fixture = Path(__file__).parent / "fixtures" / "divergent_kernel_tree"
+        baseline = tmp_path / "ratchet.json"
+        baseline.write_text(json.dumps({}))
+        args = [
+            "check", "--kernel-parity", "--source", str(fixture),
+            "--ratchet", str(baseline),
+        ]
+        assert main(args) == 1
+        out = capsys.readouterr().out
+        assert "ratchet: PAR002" in out
+
+
 class TestCheckRatchet:
     def write_baseline(self, tmp_path, mapping):
         path = tmp_path / "ratchet.json"
@@ -193,7 +256,8 @@ class TestCheckRatchet:
             / "diagnostic-ratchet.json"
         )
         args = [
-            "check", "--source", "--cache-safety", "--ratchet", str(ratchet),
+            "check", "--source", "--cache-safety", "--numeric",
+            "--kernel-parity", "--ratchet", str(ratchet),
         ]
         assert main(args) == 0
 

@@ -1,4 +1,4 @@
-"""Tests for the project AST lint rules (LNT001-LNT007)."""
+"""Tests for the project AST lint rules (LNT001-LNT008)."""
 
 from pathlib import Path
 
@@ -205,6 +205,52 @@ class TestLoggingBridge:
         """A same-named call on a non-logging object is not flagged."""
         src = "factory.getLogger('x')\n"
         assert lint_source(src, "sim/thing.py") == []
+
+
+class TestNoLiteralCastsInKernelLoops:
+    LOOP_CAST = (
+        "import numpy as np\n"
+        "def score(rows):\n"
+        "    out = []\n"
+        "    for r in rows:\n"
+        "        out.append(float(r))\n"
+        "    return out\n"
+    )
+
+    def test_float_cast_in_kernel_loop_flagged(self):
+        diags = lint_source(self.LOOP_CAST, "sim/kernels.py")
+        assert rule_ids(diags) == ["LNT008"]
+        assert "score()" in diags[0].message
+
+    def test_np_dtype_cast_in_comprehension_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def score(rows):\n"
+            "    return [np.float32(r) for r in rows]\n"
+        )
+        assert rule_ids(lint_source(src, "sim/kernels.py")) == ["LNT008"]
+
+    def test_cast_outside_loop_ok(self):
+        src = (
+            "import numpy as np\n"
+            "def score(rows):\n"
+            "    arr = np.asarray(rows).astype(np.float64)\n"
+            "    return arr * float(arr[0])\n"
+        )
+        assert lint_source(src, "sim/kernels.py") == []
+
+    def test_rule_is_scoped_to_the_kernel_module(self):
+        assert lint_source(self.LOOP_CAST, "sim/energy.py") == []
+
+    def test_allowlist_is_the_escape_hatch(self, monkeypatch):
+        from repro.analysis import lint as lint_mod
+
+        monkeypatch.setattr(
+            lint_mod,
+            "KERNEL_CAST_ALLOWLIST",
+            frozenset({"sim/kernels.py::score"}),
+        )
+        assert lint_source(self.LOOP_CAST, "sim/kernels.py") == []
 
 
 class TestTree:

@@ -1,0 +1,101 @@
+"""Tests for the benchmark trajectory appender (repro.bench.trajectory)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.trajectory import append_record, compact_record, main
+
+REPORT = {
+    "datetime": "2026-08-08T12:00:00",
+    "commit_info": {"id": "abc123"},
+    "benchmarks": [
+        {
+            "name": "test_batched_scoring",
+            "stats": {"mean": 0.012, "stddev": 0.001, "rounds": 7},
+            "extra_info": {"batch_speedup": 14.2, "model": "vgg16"},
+        },
+        {
+            "name": "test_cold_single",
+            "stats": {"mean": 0.00004, "stddev": 0.0, "rounds": 50},
+            "extra_info": {},
+        },
+    ],
+}
+
+
+class TestCompactRecord:
+    def test_keeps_mean_and_extra_info(self):
+        record = compact_record(REPORT, commit="deadbeef")
+        assert record["commit"] == "deadbeef"
+        assert record["datetime"] == "2026-08-08T12:00:00"
+        names = [b["name"] for b in record["benchmarks"]]
+        assert names == ["test_batched_scoring", "test_cold_single"]
+        assert record["benchmarks"][0]["mean_s"] == 0.012
+        assert record["benchmarks"][0]["extra_info"]["batch_speedup"] == 14.2
+
+    def test_commit_falls_back_to_env_then_report(self, monkeypatch):
+        monkeypatch.setenv("GITHUB_SHA", "env-sha")
+        assert compact_record(REPORT)["commit"] == "env-sha"
+        monkeypatch.delenv("GITHUB_SHA")
+        assert compact_record(REPORT)["commit"] == "abc123"
+
+
+class TestAppendRecord:
+    def write_report(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(REPORT))
+        return path
+
+    def test_creates_and_appends(self, tmp_path):
+        bench = self.write_report(tmp_path)
+        trajectory = tmp_path / "BENCH_x.json"
+        append_record(bench, trajectory, commit="one")
+        append_record(bench, trajectory, commit="two")
+        history = json.loads(trajectory.read_text())
+        assert [r["commit"] for r in history] == ["one", "two"]
+
+    def test_bounded_history_drops_oldest(self, tmp_path):
+        bench = self.write_report(tmp_path)
+        trajectory = tmp_path / "BENCH_x.json"
+        for i in range(5):
+            append_record(bench, trajectory, commit=str(i), max_entries=3)
+        history = json.loads(trajectory.read_text())
+        assert [r["commit"] for r in history] == ["2", "3", "4"]
+
+    def test_refuses_non_array_trajectory(self, tmp_path):
+        bench = self.write_report(tmp_path)
+        trajectory = tmp_path / "BENCH_x.json"
+        trajectory.write_text("{}")
+        with pytest.raises(ValueError, match="JSON array"):
+            append_record(bench, trajectory)
+
+    def test_refuses_non_object_report(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        bench.write_text("[]")
+        with pytest.raises(ValueError, match="report object"):
+            append_record(bench, tmp_path / "BENCH_x.json")
+
+
+class TestMain:
+    def test_cli_round_trip(self, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps(REPORT))
+        trajectory = tmp_path / "BENCH_x.json"
+        code = main([str(bench), str(trajectory), "--commit", "cli-sha"])
+        assert code == 0
+        assert "appended 2 benchmark(s)" in capsys.readouterr().out
+        history = json.loads(trajectory.read_text())
+        assert history[-1]["commit"] == "cli-sha"
+
+    def test_repo_trajectory_files_are_valid_arrays(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        for name in ("BENCH_vectorized.json", "BENCH_search_time.json"):
+            history = json.loads((root / name).read_text())
+            assert isinstance(history, list) and history, name
+            for record in history:
+                assert "commit" in record and "benchmarks" in record, name
