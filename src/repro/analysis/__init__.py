@@ -19,6 +19,8 @@ violates Eq. 4 bounds or Algorithm 1's accounting.  Three layers:
   ``sim/`` behind ``repro check --numeric`` (NUM rule family).
 * :mod:`repro.analysis.kernel_parity` — scalar-vs-vectorized read-set
   parity behind ``repro check --kernel-parity`` (PAR rule family).
+* :mod:`repro.analysis.units` — dimensional analysis of the cost model
+  behind ``repro check --units`` (UNI rule family).
 
 ``repro check`` (see :mod:`repro.cli`) drives all three and exits
 nonzero on ERROR diagnostics; `docs/static_analysis.md` catalogues every
@@ -73,6 +75,8 @@ __all__ = [
     "analyze_kernel_parity",
     "analyze_kernel_parity_tree",
     "kernel_parity_contract",
+    "analyze_units",
+    "units_findings",
 ]
 
 _CHECKER_NAMES = frozenset(
@@ -104,6 +108,9 @@ _KERNEL_PARITY_NAMES = frozenset(
         "ParityContract",
     }
 )
+_UNITS_NAMES = frozenset(
+    {"analyze_units", "units_findings", "load_tables", "UnitTables"}
+)
 
 
 def __getattr__(name: str) -> Any:
@@ -131,4 +138,8 @@ def __getattr__(name: str) -> Any:
         from . import kernel_parity
 
         return getattr(kernel_parity, name)
+    if name in _UNITS_NAMES:
+        from . import units
+
+        return getattr(units, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -54,6 +54,10 @@ class Diagnostic:
     location: str  #: what was checked, e.g. ``"shape 35x32"`` or ``"tile 3"``
     message: str   #: what is wrong
     hint: str = "" #: how to fix it
+    #: optional machine-readable key/value payload (e.g. the units
+    #: analyzer's ``inferred`` / ``declared`` pair); rendered only by the
+    #: CLI's ``--format json`` emitter, never by :meth:`format`
+    data: tuple[tuple[str, str], ...] = ()
 
     def format(self) -> str:
         head = f"{self.severity.value.upper():>7} {self.rule_id} [{self.location}] {self.message}"
@@ -70,7 +74,13 @@ class Rule:
     anchor: str       #: paper anchor, e.g. ``"Eq. 4"`` or ``"Algorithm 1"``
     description: str
 
-    def diag(self, location: str, message: str, hint: str = "") -> Diagnostic:
+    def diag(
+        self,
+        location: str,
+        message: str,
+        hint: str = "",
+        data: tuple[tuple[str, str], ...] = (),
+    ) -> Diagnostic:
         """Instantiate a finding of this rule."""
         return Diagnostic(
             rule_id=self.rule_id,
@@ -78,6 +88,7 @@ class Rule:
             location=location,
             message=message,
             hint=hint,
+            data=data,
         )
 
 
@@ -389,6 +400,44 @@ PAR003 = _r(
     "row names, a derived MappingBatch column has no same-named "
     "LayerMapping counterpart, or the kernels' replica of a scalar "
     "error-message format string has drifted from the reference site.",
+)
+UNI001 = _r(
+    "UNI001", "mixed-unit add/sub/compare", Severity.ERROR,
+    "units contract",
+    "An addition, subtraction, comparison, or min/max mixes operands of "
+    "different physical units (e.g. energy_nj + latency_ns) — the result "
+    "is a number with no meaning, and nothing downstream can detect it.",
+)
+UNI002 = _r(
+    "UNI002", "unit-bearing field not covered by UNIT_TABLE", Severity.ERROR,
+    "units contract",
+    "A numeric config/result field carries no unit suffix and no "
+    "UNIT_TABLE entry — or a UNIT_TABLE entry names a field that no "
+    "longer exists — so the dimensional interpreter (and the reader) "
+    "cannot know what the number measures.",
+)
+UNI003 = _r(
+    "UNI003", "bare literal acting as a unit conversion", Severity.ERROR,
+    "units contract",
+    "A bare power-of-ten literal multiplies or divides a unit-bearing "
+    "value (the `* 1e-9` idiom) — an undeclared unit conversion.  Name "
+    "the factor in repro.sim.units_constants and declare its unit in "
+    "CONVERSION_UNITS so the conversion is checkable.",
+)
+UNI004 = _r(
+    "UNI004", "inferred unit diverges from declared unit", Severity.ERROR,
+    "units contract",
+    "A value flowing into a declared slot — a result/config field, a "
+    "suffix-named variable or function return — has an inferred unit "
+    "different from the declared one (e.g. a nanojoule expression "
+    "returned by a *_ns function).",
+)
+UNI005 = _r(
+    "UNI005", "wrong unit emitted to a tracer stream", Severity.ERROR,
+    "units contract",
+    "A value is emitted to a repro.obs counter stream whose schema "
+    "(UNIT_TABLE['obs.streams']) declares a different unit — dashboards "
+    "and SLO checks downstream would silently read the wrong dimension.",
 )
 
 

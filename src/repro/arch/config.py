@@ -312,3 +312,129 @@ class HardwareConfig:
 
 #: The paper's default platform (§4.1).
 DEFAULT_CONFIG = HardwareConfig()
+
+
+# ----------------------------------------------------------------------
+# The unit table — the dimensional-analysis contract (UNI rules)
+# ----------------------------------------------------------------------
+#: Declared physical unit of every numeric field the cost model carries
+#: that the ``*_nj`` / ``*_ns`` / ``*_nw`` / ``*_um2`` / ``*_bytes`` /
+#: ``*_nj_per_byte`` / ``*_fraction`` naming convention does not already
+#: cover, keyed by class name (plus the ``"obs.streams"`` pseudo-class
+#: for ``repro.obs`` counter streams).  ``repro.analysis.units`` — the
+#: UNI rules, ``repro check --units`` — reads this table to seed its
+#: abstract interpretation and to prove coverage: an unsuffixed numeric
+#: field of any class named here (or of any class that has suffix-united
+#: fields) with no entry is UNI002, and so is an entry naming a field
+#: that no longer exists.  Dimensionless tokens (``count``, ``bit``,
+#: ``fraction``, ``percent``, ``flag``, ``1``) are interchangeable in
+#: arithmetic; dimensioned tokens (``nJ``, ``ns``, ``nW``, ``um2``,
+#: ``byte``) are not.  The catalogue lives in docs/cost_model.md; the
+#: contract in docs/static_analysis.md.
+UNIT_TABLE: dict[str, dict[str, str]] = {
+    "CrossbarShape": {
+        "rows": "count",
+        "cols": "count",
+        "cells": "count",
+    },
+    "HardwareConfig": {
+        "weight_bits": "bit",
+        "input_bits": "bit",
+        "cell_bits": "bit",
+        "dac_bits": "bit",
+        "adc_bits": "bit",
+        "pes_per_tile": "count",
+        "tiles_per_bank": "count",
+        "adc_sharing": "count",
+        "xbars_per_group": "count",
+        "input_cycles": "count",
+        "logical_xbars_per_tile": "count",
+    },
+    "EnergyBreakdown": {
+        "adc": "nJ",
+        "dac": "nJ",
+        "crossbar": "nJ",
+        "shift_add": "nJ",
+        "adder_tree": "nJ",
+        "buffer": "nJ",
+        "bus": "nJ",
+        "pooling": "nJ",
+        "leakage": "nJ",
+        "total": "nJ",
+    },
+    "LayerCost": {
+        "layer_index": "count",
+        "mvm_ops": "count",
+        "num_crossbars": "count",
+        "adc_conversions": "count",
+        "dac_conversions": "count",
+        "intra_utilization": "fraction",
+    },
+    "SystemMetrics": {
+        "utilization": "fraction",
+        "occupied_tiles": "count",
+        "occupied_crossbars": "count",
+        "empty_crossbars": "count",
+        "utilization_percent": "percent",
+    },
+    "AllocationSummary": {
+        "tile_capacity": "count",
+        "occupied_tiles": "count",
+        "empty_crossbars": "count",
+        "allocated_cells": "count",
+        "weight_cells": "count",
+        "tiles_per_layer": "count",
+        "total_crossbar_slots": "count",
+        "utilization": "fraction",
+    },
+    "NetworkArrays": {
+        "num_layers": "count",
+        "layer_indices": "count",
+        "mvm_ops": "count",
+        "in_channels": "count",
+        "out_channels": "count",
+        "kernel_elems": "count",
+        "weight_counts": "count",
+        "weight_cells_total": "count",
+        "pooled_elems": "count",
+    },
+    "MappingBatch": {
+        "rows": "count",
+        "cols": "count",
+        "row_groups": "count",
+        "col_groups": "count",
+        "kernel_split": "flag",
+        "num_crossbars": "count",
+        "used_columns_total": "count",
+        "allocated_columns_total": "count",
+        "used_rows_total": "count",
+        "allocated_rows_total": "count",
+        "partial_sum_adds": "count",
+        "adder_tree_depth": "count",
+        "used_columns_per_crossbar_max": "count",
+    },
+    "EnergyTerms": {
+        "adc": "nJ",
+        "dac": "nJ",
+        "crossbar": "nJ",
+        "shift_add": "nJ",
+        "adder_tree": "nJ",
+        "buffer": "nJ",
+        "bus": "nJ",
+    },
+    "_NetworkConstants": {
+        "phase_factor": "count",
+    },
+    "obs.streams": {
+        "sim.utilization": "fraction",
+        "sim.energy_nj": "nJ",
+        "sim.latency_ns": "ns",
+        "alloc.occupied_tiles": "count",
+        "sim.layer.utilization": "fraction",
+        "sim.layer.adc_conversions": "count",
+        "cache.hit_rate": "fraction",
+        "rl.reward": "1",
+        "rl.critic_loss": "1",
+        "rl.actor_loss": "1",
+    },
+}

@@ -241,6 +241,22 @@ def build_parser() -> argparse.ArgumentParser:
         "against the vectorized kernel coverage tables (PAR rules)",
     )
     p_check.add_argument(
+        "--units", action="store_true",
+        help="run the dimensional-analysis pass over the cost model "
+        "(UNI rules: mixed-unit arithmetic, uncovered fields, bare "
+        "conversion literals, declared-vs-inferred drift, tracer streams)",
+    )
+    p_check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format: human-readable text (default) or one JSON "
+        "document with findings, summary counts, and ratchet violations",
+    )
+    p_check.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue (id, severity, anchor, title) "
+        "and exit without running any pass",
+    )
+    p_check.add_argument(
         "--ratchet", default=None, metavar="PATH",
         help="JSON file mapping rule id -> grandfathered finding count; "
         "any rule exceeding its baseline fails the check even at WARNING",
@@ -280,12 +296,44 @@ def cmd_check(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             raise SystemExit(f"check: cannot load {what}: {exc}") from exc
 
+    if args.list_rules:
+        from .analysis.invariants import RULES
+
+        rules = [RULES[rule_id] for rule_id in sorted(RULES)]
+        if args.format == "json":
+            print(
+                json.dumps(
+                    [
+                        {
+                            "rule": r.rule_id,
+                            "severity": r.severity.value,
+                            "anchor": r.anchor,
+                            "title": r.title,
+                        }
+                        for r in rules
+                    ],
+                    indent=2,
+                )
+            )
+        else:
+            for r in rules:
+                print(
+                    f"{r.rule_id}  {r.severity.value.upper():<7} "
+                    f"{r.anchor:<18} {r.title}"
+                )
+        return 0
+
+    # Progress narration belongs to the text format only; a JSON consumer
+    # gets exactly one document on stdout.
+    say = (lambda *a, **k: None) if args.format == "json" else print
+
     report = Report()
     targeted = (
         args.cache_safety
         or args.concurrency
         or args.numeric
         or args.kernel_parity
+        or args.units
         or any(
             v is not None
             for v in (
@@ -303,11 +351,11 @@ def cmd_check(args: argparse.Namespace) -> int:
         else DEFAULT_CANDIDATES
     )
     if args.shapes or not targeted:
-        print(f"checking candidate set: {', '.join(map(str, shapes))}")
+        say(f"checking candidate set: {', '.join(map(str, shapes))}")
         report.extend(check_candidate_set(shapes))
 
     if args.config:
-        print(f"checking config: {args.config}")
+        say(f"checking config: {args.config}")
         report.extend(
             check_config_dict(
                 load_input(
@@ -317,12 +365,12 @@ def cmd_check(args: argparse.Namespace) -> int:
             )
         )
     elif not targeted:
-        print("checking default platform config")
+        say("checking default platform config")
         report.extend(check_config(DEFAULT_CONFIG, shapes))
 
     if args.model:
         network = get_model(args.model)
-        print(f"checking model graph: {network.name}")
+        say(f"checking model graph: {network.name}")
         report.extend(check_network(network))
         if args.strategy:
             strategy = load_input(
@@ -333,7 +381,7 @@ def cmd_check(args: argparse.Namespace) -> int:
                     f"strategy length {len(strategy)} != "
                     f"{network.num_layers} layers of {network.name}"
                 )
-            print(f"checking mapping + allocation plan: {args.strategy}")
+            say(f"checking mapping + allocation plan: {args.strategy}")
             mappings = [
                 map_layer(layer, shape)
                 for layer, shape in zip(network.layers, strategy)
@@ -349,14 +397,14 @@ def cmd_check(args: argparse.Namespace) -> int:
         raise SystemExit("--strategy requires --model")
 
     if args.plan:
-        print(f"checking allocation plan: {args.plan}")
+        say(f"checking allocation plan: {args.plan}")
         report.extend(
             check_plan_dict(load_input(args.plan, lambda: load_plan_dict(args.plan)))
         )
 
     if args.source is not None or not targeted:
         root = Path(args.source) if args.source else None
-        print(f"linting source tree: {root or 'repro package'}")
+        say(f"linting source tree: {root or 'repro package'}")
         report.extend(lint_tree(root))
 
     if args.cache_safety or not targeted:
@@ -366,41 +414,80 @@ def cmd_check(args: argparse.Namespace) -> int:
         # must be laid out like the repro package); default is the
         # installed package itself.
         analysis_root = Path(args.source) if args.source else None
-        print("checking cache-key soundness of the memoized simulator")
+        say("checking cache-key soundness of the memoized simulator")
         report.extend(analyze_cache_safety(analysis_root))
 
     if args.concurrency or not targeted:
         from .analysis.concurrency import analyze_concurrency
 
         analysis_root = Path(args.source) if args.source else None
-        print("checking concurrency safety of the worker fan-out paths")
+        say("checking concurrency safety of the worker fan-out paths")
         report.extend(analyze_concurrency(analysis_root))
 
     if args.numeric or not targeted:
         from .analysis.numeric import analyze_numeric
 
         analysis_root = Path(args.source) if args.source else None
-        print("checking numeric safety of the simulator tree")
+        say("checking numeric safety of the simulator tree")
         report.extend(analyze_numeric(analysis_root))
 
     if args.kernel_parity or not targeted:
         from .analysis.kernel_parity import analyze_kernel_parity
 
         analysis_root = Path(args.source) if args.source else None
-        print("checking scalar/vectorized kernel parity")
+        say("checking scalar/vectorized kernel parity")
         report.extend(analyze_kernel_parity(analysis_root))
 
+    if args.units or not targeted:
+        from .analysis.units import analyze_units
+
+        analysis_root = Path(args.source) if args.source else None
+        say("checking dimensional consistency of the cost model")
+        report.extend(analyze_units(analysis_root))
+
     exit_code = report.exit_code
-    print(report.format())
+    violations: list[str] = []
     if args.ratchet:
         baseline = load_input(
             args.ratchet, lambda: json.loads(Path(args.ratchet).read_text())
         )
         violations = ratchet_violations(report, baseline)
-        for line in violations:
-            print(line)
         if violations:
             exit_code = 1
+    if args.format == "json":
+        ordered = sorted(
+            report.diagnostics,
+            key=lambda d: (-d.severity.rank, d.rule_id, d.location),
+        )
+        print(
+            json.dumps(
+                {
+                    "findings": [
+                        {
+                            "rule": d.rule_id,
+                            "severity": d.severity.value,
+                            "location": d.location,
+                            "message": d.message,
+                            "hint": d.hint,
+                            "data": dict(d.data),
+                        }
+                        for d in ordered
+                    ],
+                    "summary": {
+                        "errors": len(report.errors),
+                        "warnings": len(report.warnings),
+                        "total": len(report),
+                    },
+                    "ratchet_violations": violations,
+                    "ok": exit_code == 0,
+                },
+                indent=2,
+            )
+        )
+        return exit_code
+    print(report.format())
+    for line in violations:
+        print(line)
     if exit_code == 0:
         print("check passed")
     return exit_code

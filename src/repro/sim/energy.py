@@ -28,6 +28,7 @@ from ..arch.config import HardwareConfig
 from ..arch.mapping import LayerMapping
 from ..models.graph import Network
 from ..models.layers import LayerSpec
+from .units_constants import NW_NS_TO_NJ
 from .metrics import EnergyBreakdown
 
 
@@ -164,5 +165,4 @@ def leakage_energy(
         + occupied_tiles * config.leak_tile_nw
         + allocated_cells * group * config.leak_cell_nw
     )
-    # nW * ns = 1e-18 J = 1e-9 nJ.
-    return power_nw * latency_ns * 1e-9
+    return power_nw * latency_ns * NW_NS_TO_NJ

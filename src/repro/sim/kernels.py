@@ -55,6 +55,7 @@ from ..core.allocation.summary import AllocationSummary, summarize_counts
 from ..models.graph import Network
 from ..obs.trace import NULL_TRACER, Tracer
 from .metrics import EnergyBreakdown, LayerCost, SystemMetrics
+from .units_constants import NW_NS_TO_NJ
 
 __all__ = [
     "NetworkArrays",
@@ -842,7 +843,7 @@ def _leakage_energy_nj(
         + occupied_tiles * config.leak_tile_nw
         + allocated_cells * group * config.leak_cell_nw
     )
-    return power_nw * latency_ns * 1e-9
+    return power_nw * latency_ns * NW_NS_TO_NJ
 
 
 def _layer_costs(

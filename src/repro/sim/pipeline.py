@@ -28,6 +28,7 @@ from ..arch.config import CrossbarShape, DEFAULT_CONFIG, HardwareConfig
 from ..arch.mapping import map_layer
 from ..models.graph import Network
 from .latency import layer_latency_ns, pooling_latency_ns
+from .units_constants import NS_PER_S
 
 
 @dataclass(frozen=True)
@@ -74,7 +75,7 @@ class PipelineReport:
     @property
     def throughput_img_per_s(self) -> float:
         """Steady-state images per second."""
-        return 1e9 / self.bottleneck_ns if self.bottleneck_ns else 0.0
+        return NS_PER_S / self.bottleneck_ns if self.bottleneck_ns else 0.0
 
     def stage_utilisation(self) -> tuple[float, ...]:
         """Busy fraction of each stage at steady state."""

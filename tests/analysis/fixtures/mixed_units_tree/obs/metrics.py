@@ -1,0 +1,17 @@
+"""Toy metric emission with one wrong-stream bug (UNI005)."""
+
+from __future__ import annotations
+
+#: Stream names resolve through module-level string constants, exactly
+#: like the real ``repro.obs.metrics`` emitters.
+ENERGY_STREAM = "sim.energy_nj"
+
+
+def bad_emit(tracer, latency_ns: float) -> None:
+    """UNI005: emits a nanosecond value to the nanojoule stream."""
+    tracer.counter(ENERGY_STREAM, latency_ns)
+
+
+def ok_emit(tracer, energy_nj: float) -> None:
+    """Negative twin: the emitted dimension matches the stream schema."""
+    tracer.counter(ENERGY_STREAM, energy_nj)

@@ -1,0 +1,65 @@
+"""A toy cost model with one dimensional bug per UNI sim rule.
+
+Each ``bad_*`` entity trips exactly one rule; the neighbouring ``ok_*``
+twin computes the same thing with the units kept straight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Named conversion constant: multiplying by it is *not* UNI003 even
+#: though its value is a power of ten — the literal sits behind a name.
+#: (In the real tree the name would also carry a CONVERSION_UNITS entry.)
+FAN_NJ_TO_J = 1e-9
+
+
+@dataclass(frozen=True)
+class FanConfig:
+    """UNI002: ``fan_gain`` is numeric but has neither a unit suffix nor
+    a UNIT_TABLE entry — nothing says what the number measures."""
+
+    energy_fan_nj: float = 0.5
+    latency_spin_ns: float = 12.0
+    fan_gain: float = 1.25
+
+
+@dataclass(frozen=True)
+class OkFanConfig:
+    """Negative twin of :class:`FanConfig`: every numeric field declares
+    its dimension through its suffix (``_fraction`` covers the gain)."""
+
+    energy_fan_nj: float = 0.5
+    latency_spin_ns: float = 12.0
+    gain_fraction: float = 1.25
+
+
+def bad_total_cost(config: FanConfig) -> float:
+    """UNI001: adds nanojoules to nanoseconds."""
+    return config.energy_fan_nj + config.latency_spin_ns
+
+
+def ok_total_energy_nj(config: FanConfig) -> float:
+    """Negative twin: a pure-energy sum, scaled by a dimensionless gain."""
+    return config.energy_fan_nj + config.energy_fan_nj * config.fan_gain
+
+
+def bad_energy_scaled(config: FanConfig) -> float:
+    """UNI003: a bare power-of-ten literal converts nJ to J undeclared."""
+    return config.energy_fan_nj * 1e-9
+
+
+def ok_energy_joules(config: FanConfig) -> float:
+    """Negative twin: the same conversion through a named constant."""
+    return config.energy_fan_nj * FAN_NJ_TO_J
+
+
+def bad_latency_roundup_ns(config: FanConfig) -> float:
+    """UNI004: the ``_ns`` suffix declares nanoseconds, but the returned
+    value is the config's energy."""
+    return float(config.energy_fan_nj)
+
+
+def ok_latency_roundup_ns(config: FanConfig) -> float:
+    """Negative twin: returns the dimension its name declares."""
+    return float(config.latency_spin_ns)

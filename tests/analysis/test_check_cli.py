@@ -211,6 +211,125 @@ class TestCheckKernelParity:
         assert "ratchet: PAR002" in out
 
 
+class TestCheckUnits:
+    def test_real_tree_is_dimensionally_clean(self, capsys):
+        assert main(["check", "--units"]) == 0
+        out = capsys.readouterr().out
+        assert "dimensional consistency" in out
+        assert "check passed" in out
+
+    def test_mixed_units_fixture_reports_every_uni_rule(self, capsys):
+        from pathlib import Path
+
+        fixture = Path(__file__).parent / "fixtures" / "mixed_units_tree"
+        assert main(["check", "--units", "--source", str(fixture)]) == 1
+        out = capsys.readouterr().out
+        for rule in ("UNI001", "UNI002", "UNI003", "UNI004", "UNI005"):
+            assert rule in out
+
+    def test_default_invocation_includes_units(self, capsys):
+        assert main(["check"]) == 0
+        assert "dimensional consistency" in capsys.readouterr().out
+
+
+class TestCheckJsonFormat:
+    def run_json(self, capsys, args):
+        code = main(args)
+        out = capsys.readouterr().out
+        return code, json.loads(out)  # exactly one JSON document on stdout
+
+    def test_clean_tree_emits_single_ok_document(self, capsys):
+        code, doc = self.run_json(capsys, ["check", "--format", "json"])
+        assert code == 0
+        assert doc["ok"] is True
+        assert doc["findings"] == []
+        assert doc["summary"] == {"errors": 0, "warnings": 0, "total": 0}
+        assert doc["ratchet_violations"] == []
+
+    def test_no_progress_narration_in_json_mode(self, capsys):
+        code = main(["check", "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "check passed" not in out
+        assert "dimensional consistency" not in out
+
+    def test_findings_carry_structured_fields(self, capsys):
+        from pathlib import Path
+
+        fixture = Path(__file__).parent / "fixtures" / "mixed_units_tree"
+        code, doc = self.run_json(
+            capsys,
+            ["check", "--units", "--source", str(fixture), "--format", "json"],
+        )
+        assert code == 1
+        assert doc["ok"] is False
+        rules = [f["rule"] for f in doc["findings"]]
+        assert set(rules) == {"UNI001", "UNI002", "UNI003", "UNI004", "UNI005"}
+        for finding in doc["findings"]:
+            assert finding["severity"] == "error"
+            assert ":" in finding["location"]
+            assert finding["message"]
+            assert finding["hint"]
+        uni004 = next(f for f in doc["findings"] if f["rule"] == "UNI004")
+        assert uni004["data"] == {"inferred": "nJ", "declared": "ns"}
+        assert doc["summary"]["errors"] == len(doc["findings"])
+        assert doc["summary"]["total"] == len(doc["findings"])
+
+    def test_ratchet_violations_surface_in_json(self, tmp_path, capsys):
+        from pathlib import Path
+
+        fixture = Path(__file__).parent / "fixtures" / "mixed_units_tree"
+        baseline = tmp_path / "ratchet.json"
+        baseline.write_text(json.dumps({}))
+        code, doc = self.run_json(
+            capsys,
+            [
+                "check", "--units", "--source", str(fixture),
+                "--format", "json", "--ratchet", str(baseline),
+            ],
+        )
+        assert code == 1
+        assert any("UNI001" in v for v in doc["ratchet_violations"])
+
+
+class TestListRules:
+    def test_text_catalogue_lists_every_uni_rule(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("UNI001", "UNI002", "UNI003", "UNI004", "UNI005"):
+            assert rule in out
+        assert "units contract" in out
+
+    def test_json_catalogue_is_structured(self, capsys):
+        assert main(["check", "--list-rules", "--format", "json"]) == 0
+        rules = json.loads(capsys.readouterr().out)
+        by_id = {r["rule"]: r for r in rules}
+        assert by_id["UNI001"]["severity"] == "error"
+        assert by_id["UNI001"]["anchor"] == "units contract"
+        assert by_id["UNI001"]["title"]
+
+    def test_list_rules_runs_no_passes(self, capsys):
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "check passed" not in out
+        assert "dimensional consistency" not in out
+
+    def test_docs_catalogue_matches_registry(self, capsys):
+        """Every registered rule id appears in docs/static_analysis.md and
+        the docs never cite a rule id the registry does not know."""
+        import re
+        from pathlib import Path
+
+        assert main(["check", "--list-rules", "--format", "json"]) == 0
+        registered = {r["rule"] for r in json.loads(capsys.readouterr().out)}
+        docs = (
+            Path(__file__).resolve().parents[2] / "docs" / "static_analysis.md"
+        ).read_text()
+        documented = set(re.findall(r"\b[A-Z]{3}\d{3}\b", docs))
+        assert registered <= documented, sorted(registered - documented)
+        assert documented <= registered, sorted(documented - registered)
+
+
 class TestCheckRatchet:
     def write_baseline(self, tmp_path, mapping):
         path = tmp_path / "ratchet.json"
@@ -257,7 +376,7 @@ class TestCheckRatchet:
         )
         args = [
             "check", "--source", "--cache-safety", "--numeric",
-            "--kernel-parity", "--ratchet", str(ratchet),
+            "--kernel-parity", "--units", "--ratchet", str(ratchet),
         ]
         assert main(args) == 0
 

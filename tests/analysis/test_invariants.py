@@ -33,7 +33,7 @@ class TestRegistry:
         families = {rid[:3] for rid in RULES}
         assert families == {
             "CFG", "SHP", "MAP", "NET", "ALC", "LNT", "CAC", "PUR", "CON",
-            "NUM", "PAR",
+            "NUM", "PAR", "UNI",
         }
 
     def test_lookup(self):

@@ -1,0 +1,343 @@
+"""Tests for the dimensional-analysis pass (UNI rules)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.units import (
+    analyze_units,
+    format_unit,
+    parse_unit,
+    suffix_unit,
+    unit_div,
+    unit_mul,
+    units_findings,
+)
+
+FIXTURE_TREE = Path(__file__).parent / "fixtures" / "mixed_units_tree"
+REPRO_SRC = Path(__file__).parents[2] / "src" / "repro"
+
+
+def ids(source, rel="sim/mod.py"):
+    return sorted(d.rule_id for d in units_findings(source, rel))
+
+
+class TestUnitAlgebra:
+    def test_parse_is_canonical(self):
+        assert parse_unit("nJ") == (("nJ", 1),)
+        assert parse_unit("count") == ()
+        assert parse_unit("1") == ()
+        assert parse_unit("nJ/(nW*ns)") == (("nJ", 1), ("nW", -1), ("ns", -1))
+        assert parse_unit("nJ/byte") == (("byte", -1), ("nJ", 1))
+
+    def test_mul_composes_and_cancels(self):
+        nw_ns = unit_mul(parse_unit("nW"), parse_unit("ns"))
+        assert unit_mul(nw_ns, parse_unit("nJ/(nW*ns)")) == parse_unit("nJ")
+
+    def test_div_inverts(self):
+        assert unit_div(parse_unit("nJ"), parse_unit("ns")) == parse_unit("nJ/ns")
+        assert unit_div(parse_unit("nJ"), parse_unit("nJ")) == ()
+
+    def test_unknown_propagation_is_optimistic(self):
+        # unknown * dimensioned passes the dimension through; unknown
+        # meeting dimensionless stays unknown (claiming () would later
+        # conflict with real units downstream).
+        assert unit_mul(None, parse_unit("nJ")) == parse_unit("nJ")
+        assert unit_mul(None, ()) is None
+        assert unit_mul(None, None) is None
+
+    def test_format_round_trips_readably(self):
+        assert format_unit(None) == "?"
+        assert format_unit(()) == "1"
+        assert format_unit(parse_unit("nJ/(nW*ns)")) == "nJ/(nW*ns)"
+
+    def test_suffix_table_longest_first(self):
+        assert suffix_unit("energy_buffer_nj_per_byte") == parse_unit("nJ/byte")
+        assert suffix_unit("energy_adc_nj") == parse_unit("nJ")
+        assert suffix_unit("idle_line_energy_fraction") == ()
+        assert suffix_unit("mvm_ops") is None
+
+
+class TestUNI001MixedAddition:
+    def test_energy_plus_latency(self):
+        src = "def f(c):\n    return c.energy_adc_nj + c.latency_adc_ns\n"
+        assert ids(src) == ["UNI001"]
+
+    def test_comparison_mixing_units(self):
+        src = "def f(c):\n    return c.energy_adc_nj < c.latency_adc_ns\n"
+        assert ids(src) == ["UNI001"]
+
+    def test_min_mixing_units(self):
+        src = "def f(c):\n    return min(c.energy_adc_nj, c.latency_adc_ns)\n"
+        assert ids(src) == ["UNI001"]
+
+    def test_same_unit_addition_is_clean(self):
+        src = "def f(c):\n    return c.energy_adc_nj + c.energy_dac_nj\n"
+        assert ids(src) == []
+
+    def test_literal_accumulator_is_polymorphic(self):
+        src = (
+            "def f(xs):\n"
+            "    total = 0.0\n"
+            "    for x_ns in xs:\n"
+            "        total += x_ns\n"
+            "    return total\n"
+        )
+        assert ids(src) == []
+
+    def test_count_scaling_is_polymorphic(self):
+        src = "def f(c, mvm_ops):\n    return mvm_ops * c.energy_adc_nj\n"
+        assert ids(src) == []
+
+    def test_waiver_suppresses(self):
+        src = (
+            "def f(c):\n"
+            "    return c.energy_adc_nj + c.latency_adc_ns"
+            "  # unit-ok: UNI001 (test)\n"
+        )
+        assert ids(src) == []
+
+
+class TestUNI002FieldCoverage:
+    def test_unsuffixed_numeric_field_flagged(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class C:\n"
+            "    energy_x_nj: float = 1.0\n"
+            "    gain: float = 2.0\n"
+        )
+        assert ids(src) == ["UNI002"]
+
+    def test_fully_suffixed_class_is_clean(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class C:\n"
+            "    energy_x_nj: float = 1.0\n"
+            "    gain_fraction: float = 2.0\n"
+        )
+        assert ids(src) == []
+
+    def test_class_outside_the_contract_is_ignored(self):
+        # No suffixed field and no UNIT_TABLE entry: not unit-bearing.
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Packed:\n"
+            "    floats: int = 0\n"
+            "    ints: int = 0\n"
+        )
+        assert ids(src) == []
+
+    def test_dangling_table_entry_flagged(self):
+        # The real HardwareConfig table covers pes_per_tile; a source
+        # where the field was renamed must flag the stale entry.
+        real = (REPRO_SRC / "arch" / "config.py").read_text()
+        tampered = real.replace("pes_per_tile: int", "pes_per_tile_x: int", 1)
+        found = ids(tampered, "arch/config.py")
+        assert "UNI002" in found
+
+    def test_waiver_suppresses(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class C:\n"
+            "    energy_x_nj: float = 1.0\n"
+            "    gain: float = 2.0  # unit-ok: UNI002 (test)\n"
+        )
+        assert ids(src) == []
+
+
+class TestUNI003BareConversion:
+    def test_power_of_ten_scaling_a_unit(self):
+        src = "def f(c):\n    return c.energy_adc_nj * 1e-9\n"
+        assert ids(src) == ["UNI003"]
+
+    def test_division_by_power_of_ten(self):
+        src = "def f(c):\n    return c.latency_adc_ns / 1000\n"
+        assert ids(src) == ["UNI003"]
+
+    def test_small_literals_are_not_conversions(self):
+        src = "def f(c):\n    return c.energy_adc_nj * 100.0\n"
+        assert ids(src) == []
+
+    def test_non_power_of_ten_is_not_a_conversion(self):
+        src = "def f(c):\n    return c.energy_adc_nj * 8192.0\n"
+        assert ids(src) == []
+
+    def test_scaling_a_dimensionless_value_is_clean(self):
+        src = "def f(c):\n    return c.pes_per_tile * 1e6\n"
+        assert ids(src) == []
+
+    def test_named_constant_is_the_sanctioned_spelling(self):
+        src = (
+            "from repro.sim.units_constants import NW_NS_TO_NJ\n"
+            "def f(power_nw, latency_ns):\n"
+            "    return power_nw * latency_ns * NW_NS_TO_NJ\n"
+        )
+        assert ids(src) == []
+
+    def test_waiver_suppresses(self):
+        src = (
+            "def f(c):\n"
+            "    return c.energy_adc_nj * 1e-9  # unit-ok: UNI003 (test)\n"
+        )
+        assert ids(src) == []
+
+
+class TestUNI004DeclaredVsInferred:
+    def test_suffixed_function_returning_wrong_unit(self):
+        src = "def cost_ns(c):\n    return c.energy_adc_nj\n"
+        assert ids(src) == ["UNI004"]
+
+    def test_suffixed_binding_of_wrong_unit(self):
+        src = "def f(c):\n    total_nj = c.latency_adc_ns\n    return total_nj\n"
+        assert ids(src) == ["UNI004"]
+
+    def test_constructor_keyword_mismatch(self):
+        src = (
+            "def f(c, EnergyBreakdown):\n"
+            "    return EnergyBreakdown(adc=c.latency_adc_ns)\n"
+        )
+        assert ids(src) == ["UNI004"]
+
+    def test_conversion_fixes_the_unit(self):
+        src = (
+            "from repro.sim.units_constants import NW_NS_TO_NJ\n"
+            "def f(c, t_ns):\n"
+            "    total_nj = c.leak_tile_nw * t_ns * NW_NS_TO_NJ\n"
+            "    return total_nj\n"
+        )
+        assert ids(src) == []
+
+    def test_dimensionless_into_declared_slot_is_polymorphic(self):
+        # A count may fill any declared slot: counts scale dimensions.
+        src = "def f(c):\n    total_nj = c.pes_per_tile * 2\n    return total_nj\n"
+        assert ids(src) == []
+
+    def test_finding_carries_inferred_and_declared(self):
+        src = "def cost_ns(c):\n    return c.energy_adc_nj\n"
+        (diag,) = units_findings(src, "sim/mod.py")
+        assert dict(diag.data) == {"inferred": "nJ", "declared": "ns"}
+
+    def test_waiver_suppresses(self):
+        src = "def cost_ns(c):\n    return c.energy_adc_nj  # unit-ok: UNI004 (test)\n"
+        assert ids(src) == []
+
+
+class TestUNI005TracerStreams:
+    def test_wrong_unit_to_stream_constant(self):
+        src = (
+            'ENERGY = "sim.energy_nj"\n'
+            "def f(tracer, latency_ns):\n"
+            "    tracer.counter(ENERGY, latency_ns)\n"
+        )
+        assert ids(src, "obs/metrics.py") == ["UNI005"]
+
+    def test_literal_stream_name_resolves_too(self):
+        src = (
+            "def f(tracer, latency_ns):\n"
+            '    tracer.counter("sim.energy_nj", latency_ns)\n'
+        )
+        assert ids(src, "obs/metrics.py") == ["UNI005"]
+
+    def test_matching_unit_is_clean(self):
+        src = (
+            "def f(tracer, energy_nj):\n"
+            '    tracer.counter("sim.energy_nj", energy_nj)\n'
+        )
+        assert ids(src, "obs/metrics.py") == []
+
+    def test_unregistered_stream_is_silent(self):
+        src = (
+            "def f(tracer, latency_ns):\n"
+            '    tracer.counter("debug.scratch", latency_ns)\n'
+        )
+        assert ids(src, "obs/metrics.py") == []
+
+    def test_waiver_suppresses(self):
+        src = (
+            "def f(tracer, latency_ns):\n"
+            '    tracer.counter("sim.energy_nj", latency_ns)'
+            "  # unit-ok: UNI005 (test)\n"
+        )
+        assert ids(src, "obs/metrics.py") == []
+
+
+class TestTamperedRealSources:
+    """Every rule must fire on a minimally corrupted *real* module —
+    the analyzer has to see through real-code idioms, not just toys."""
+
+    def test_uni001_leakage_mixing_nw_with_ns(self):
+        real = (REPRO_SRC / "sim" / "energy.py").read_text()
+        assert "occupied_tiles * config.leak_tile_nw" in real
+        tampered = real.replace(
+            "occupied_tiles * config.leak_tile_nw",
+            "occupied_tiles * config.latency_control_ns",
+        )
+        assert "UNI001" in ids(tampered, "sim/energy.py")
+
+    def test_uni002_new_unsuffixed_config_field(self):
+        real = (REPRO_SRC / "arch" / "config.py").read_text()
+        assert "weight_bits: int = 8" in real
+        tampered = real.replace(
+            "weight_bits: int = 8",
+            "adc_gain: float = 1.0\n    weight_bits: int = 8",
+            1,
+        )
+        assert ids(tampered, "arch/config.py") == ["UNI002"]
+
+    def test_uni003_inlined_leakage_conversion(self):
+        real = (REPRO_SRC / "sim" / "energy.py").read_text()
+        assert "power_nw * latency_ns * NW_NS_TO_NJ" in real
+        tampered = real.replace(
+            "power_nw * latency_ns * NW_NS_TO_NJ",
+            "power_nw * latency_ns * 1e-9",
+        )
+        assert ids(tampered, "sim/energy.py") == ["UNI003"]
+
+    def test_uni004_energy_slot_fed_latency(self):
+        # The adc term picks up nanoseconds instead of nanojoules; the
+        # divergence surfaces at the EnergyBreakdown(adc=...) keyword.
+        real = (REPRO_SRC / "sim" / "energy.py").read_text()
+        assert "config.energy_adc_nj()" in real
+        tampered = real.replace(
+            "config.energy_adc_nj()", "config.latency_adc_ns"
+        )
+        assert "UNI004" in ids(tampered, "sim/energy.py")
+
+    def test_uni005_latency_emitted_to_energy_stream(self):
+        real = (REPRO_SRC / "obs" / "metrics.py").read_text()
+        needle = "tracer.counter(ENERGY_NJ, metrics.energy_nj, network=network)"
+        assert needle in real
+        tampered = real.replace(
+            needle,
+            "tracer.counter(ENERGY_NJ, metrics.latency_ns, network=network)",
+        )
+        assert ids(tampered, "obs/metrics.py") == ["UNI005"]
+
+
+class TestEntryPoints:
+    def test_fixture_tree_has_exactly_one_finding_per_rule(self):
+        diags = analyze_units(FIXTURE_TREE)
+        assert [d.rule_id for d in diags] == [
+            "UNI001", "UNI002", "UNI003", "UNI004", "UNI005",
+        ]
+        assert all(d.severity.value == "error" for d in diags)
+
+    def test_real_tree_is_dimensionally_clean(self):
+        assert analyze_units() == []
+
+    def test_empty_tree_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no cost-model modules"):
+            analyze_units(tmp_path)
+
+    def test_findings_are_locatable(self):
+        diags = analyze_units(FIXTURE_TREE)
+        for d in diags:
+            path, _, lineno = d.location.rpartition(":")
+            assert (FIXTURE_TREE / path).is_file()
+            assert int(lineno) > 0
