@@ -1,0 +1,102 @@
+"""Serving-simulator throughput gate (docs/serving.md "Performance").
+
+Runs a sustainable two-tenant scenario — lenet + tinycnn at rates a
+single weight copy can carry, with a mid-run traffic shift that forces
+one drift re-allocation — sized to ~20k simulated requests, and pins
+the engine's wall-clock budget: the event loop must push **at least
+10,000 simulated requests per wall second** with full event logging on
+(logging is part of the simulator's contract, not overhead to shed).
+
+The run must also stay *correct* while fast: the report validates, the
+re-pack fires, and every arrival is conserved.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.serve import (
+    ArrivalPhase,
+    ReallocConfig,
+    Scenario,
+    TenantSpec,
+    build_report,
+    simulate,
+    validate_report,
+)
+
+#: wall-clock gate: simulated requests handled per second of real time
+MIN_REQUESTS_PER_WALL_S = 10_000
+
+
+def serve_scenario() -> Scenario:
+    """~20k requests over 9 simulated seconds, one traffic inversion."""
+    return Scenario(
+        name="bench-serve",
+        duration_ns=9e9,
+        seed=7,
+        max_batch=8,
+        queue_cap=0,
+        realloc=ReallocConfig(
+            enabled=True, threshold=0.15, window=128, check_every=32,
+            stall_ns=5e4, cooldown_ns=5e8, headroom=2.5,
+        ),
+        tenants=(
+            TenantSpec(
+                name="lenet", model="lenet", shape="64x64",
+                rate_rps=1100.0,
+                phases=(ArrivalPhase(at_ns=4.5e9, rate_rps=2400.0),),
+                slo_ns=5e6,
+            ),
+            TenantSpec(
+                name="tinycnn", model="tinycnn", shape="64x64",
+                rate_rps=800.0,
+                phases=(ArrivalPhase(at_ns=4.5e9, rate_rps=400.0),),
+                slo_ns=8e6,
+            ),
+        ),
+    )
+
+
+def serve_profile() -> dict:
+    scenario = serve_scenario()
+    start = time.perf_counter()
+    result = simulate(scenario)
+    wall_s = time.perf_counter() - start
+    report = build_report(result)
+    return {
+        "result": result,
+        "report": report,
+        "wall_s": wall_s,
+        "requests_per_wall_s": result.total_arrivals / wall_s,
+        "events_per_wall_s": result.events_processed / wall_s,
+    }
+
+
+def test_serve_throughput(benchmark):
+    profile = run_once(benchmark, serve_profile)
+    result = profile["result"]
+    benchmark.extra_info["arrivals"] = result.total_arrivals
+    benchmark.extra_info["completed"] = result.total_completed
+    benchmark.extra_info["events_processed"] = result.events_processed
+    benchmark.extra_info["realloc_events"] = len(result.realloc_events)
+    benchmark.extra_info["requests_per_wall_s"] = round(
+        profile["requests_per_wall_s"]
+    )
+    benchmark.extra_info["events_per_wall_s"] = round(
+        profile["events_per_wall_s"]
+    )
+
+    # Scale sanity: the scenario is big enough to mean something.
+    assert result.total_arrivals >= 15_000, (
+        f"scenario shrank to {result.total_arrivals} requests"
+    )
+    # Correctness rides along with the throughput gate.
+    assert validate_report(profile["report"]) == []
+    assert len(result.realloc_events) >= 1, "drift re-pack never fired"
+    assert result.total_rejected == 0, "sustainable scenario shed load"
+    # The gate: simulated request throughput per wall second.
+    assert profile["requests_per_wall_s"] >= MIN_REQUESTS_PER_WALL_S, (
+        f"{profile['requests_per_wall_s']:.0f} req/s of wall time "
+        f"(gate {MIN_REQUESTS_PER_WALL_S})"
+    )

@@ -436,5 +436,11 @@ UNIT_TABLE: dict[str, dict[str, str]] = {
         "rl.reward": "1",
         "rl.critic_loss": "1",
         "rl.actor_loss": "1",
+        "serve.latency_ns": "ns",
+        "serve.wait_ns": "ns",
+        "serve.queue_depth": "count",
+        "serve.batch_size": "count",
+        "serve.slo_attainment": "fraction",
+        "serve.throughput_rps": "1/s",
     },
 }

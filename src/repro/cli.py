@@ -13,6 +13,12 @@ Commands
                search end-to-end; ``trace summarize`` validates a JSONL
                trace against the schema and prints per-span p50/p95 and
                counter-stream rollups (docs/observability.md).
+``serve``      run a request-level multi-tenant serving scenario through
+               the discrete-event simulator and report p50/p95/p99
+               latency + SLO attainment per tenant (docs/serving.md);
+               takes a scenario JSON file or a builtin name, writes the
+               JSON report with ``--out``, streams a trace with
+               ``--trace``.
 ``models``     list the available workloads.
 ``check``      statically verify configs, candidate shapes, model
                mappings, allocation plans, and the source tree; exits
@@ -264,6 +270,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument(
         "--no-tile-shared", action="store_true",
         help="skip Algorithm 1 when allocating --model/--strategy",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run a multi-tenant serving scenario (docs/serving.md)",
+        description=(
+            "Drive request-level traffic across co-located tenant models "
+            "through the deterministic discrete-event serving simulator "
+            "and report per-tenant p50/p95/p99 latency and SLO attainment."
+        ),
+    )
+    p_serve.add_argument(
+        "scenario",
+        help="scenario JSON file, or a builtin name (e.g. 'two-tenant')",
+    )
+    p_serve.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the JSON report document to PATH",
+    )
+    p_serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL observability trace (serve.* streams) to PATH",
+    )
+    p_serve.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's arrival seed",
+    )
+    p_serve.add_argument(
+        "--duration-s", type=float, default=None,
+        help="override the scenario horizon, in seconds",
+    )
+    p_serve.add_argument(
+        "--no-realloc", action="store_true",
+        help="disable the re-allocation policy for this run",
     )
 
     sub.add_parser("models", help="list available workloads")
@@ -686,6 +726,100 @@ def cmd_trace_summarize(args: argparse.Namespace) -> int:
     return _summarize_trace_file(args.path)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run one serving scenario end-to-end and print the SLO report."""
+    import json
+    from dataclasses import replace
+    from pathlib import Path
+
+    from .bench.reporting import print_table
+    from .serve import (
+        BUILTIN_SCENARIOS,
+        build_report,
+        emit_report,
+        load_scenario,
+        simulate,
+        validate_report,
+    )
+
+    if args.scenario in BUILTIN_SCENARIOS:
+        scenario = BUILTIN_SCENARIOS[args.scenario]()
+    else:
+        try:
+            scenario = load_scenario(args.scenario)
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(
+                f"serve: cannot load scenario {args.scenario!r}: {exc} "
+                f"(builtins: {sorted(BUILTIN_SCENARIOS)})"
+            ) from exc
+    if args.seed is not None:
+        scenario = replace(scenario, seed=args.seed)
+    if args.duration_s is not None:
+        scenario = replace(scenario, duration_ns=args.duration_s * 1e9)
+    if args.no_realloc:
+        scenario = replace(
+            scenario, realloc=replace(scenario.realloc, enabled=False)
+        )
+
+    with _tracing(args.trace) as tracer:
+        result = simulate(scenario)
+        report = build_report(result)
+        if tracer is not None:
+            emit_report(tracer, report)
+
+    problems = validate_report(report)
+    if problems:
+        raise SystemExit(
+            "serve: internal error — report fails its own schema:\n  "
+            + "\n  ".join(problems)
+        )
+
+    requests = report["requests"]
+    print(
+        f"scenario '{report['scenario']}' (seed {report['seed']}): "
+        f"{requests['arrivals']} arrivals over "
+        f"{report['duration_ns'] / 1e9:.3f}s — "
+        f"{requests['completed']} completed, "
+        f"{requests['rejected']} rejected, "
+        f"{requests['in_flight']} in flight"
+    )
+    alloc = report["allocation"]
+    print(
+        f"allocation: {alloc['initial_tiles']} tiles initially, "
+        f"{alloc['final_tiles']} at the end "
+        f"(budget {alloc['tile_budget']}), "
+        f"{len(report['realloc_events'])} re-allocation(s)"
+    )
+    for event in report["realloc_events"]:
+        print(
+            f"  t={event['t'] / 1e6:.1f}ms re-pack -> replication "
+            f"{event['replication']} ({event['tiles']} tiles, "
+            f"drift {event['drift']:.2f})"
+        )
+    print_table(
+        ("tenant", "model", "done", "rej", "p50 ms", "p95 ms", "p99 ms",
+         "SLO %"),
+        [
+            (
+                name,
+                entry["model"],
+                entry["completed"],
+                entry["rejected"],
+                (entry["p50_ns"] or 0.0) / 1e6,
+                (entry["p95_ns"] or 0.0) / 1e6,
+                (entry["p99_ns"] or 0.0) / 1e6,
+                100.0 * entry["slo_attainment"],
+            )
+            for name, entry in report["tenants"].items()
+        ],
+        title="per-tenant SLO report",
+    )
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote report to {args.out}")
+    return 0
+
+
 def cmd_models(_: argparse.Namespace) -> int:
     for name in sorted(_MODEL_BUILDERS):
         net = get_model(name)
@@ -706,6 +840,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_models(args)
     if args.command == "check":
         return cmd_check(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "trace":
         if args.trace_command == "run":
             return cmd_trace_run(args)

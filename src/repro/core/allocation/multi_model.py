@@ -28,11 +28,16 @@ from .tiles import Allocation
 
 @dataclass(frozen=True)
 class ModelSlice:
-    """One co-located model's global layer-index range."""
+    """One co-located model's global layer-index range.
+
+    With weight replication the range spans all copies: ``replication``
+    consecutive blocks of ``num_layers`` global indices each.
+    """
 
     name: str
     start: int  #: first global layer index (inclusive)
     stop: int   #: one past the last global layer index
+    replication: int = 1  #: weight copies packed for this model
 
     def owns(self, global_index: int) -> bool:
         return self.start <= global_index < self.stop
@@ -86,6 +91,7 @@ def allocate_multi_network(
     tile_capacity: int,
     *,
     tile_shared: bool = True,
+    replication: Sequence[int] | None = None,
 ) -> MultiModelAllocation:
     """Map several (network, strategy) pairs onto one accelerator.
 
@@ -93,14 +99,27 @@ def allocate_multi_network(
     treats the concatenation as one big layer list, so Algorithm 1 can
     merge sparsely-filled tiles across models (it only ever merges tiles
     of identical crossbar geometry, as always).
+
+    ``replication[m]`` packs that many full weight copies of model ``m``
+    (PipeLayer-style duplication, see :mod:`repro.sim.pipeline`); each
+    copy gets its own global layer-index block so the plan invariants
+    hold unchanged, and the model's :class:`ModelSlice` spans all copies.
+    The serving layer's re-allocation policy uses this to re-pack tiles
+    when a tenant needs more pipeline bandwidth.
     """
     if not workloads:
         raise ValueError("need at least one workload")
+    if replication is None:
+        replication = [1] * len(workloads)
+    if len(replication) != len(workloads):
+        raise ValueError("replication length must equal workload count")
+    if any(r < 1 for r in replication):
+        raise ValueError("replication factors must be >= 1")
     mappings: list[LayerMapping] = []
     slices: list[ModelSlice] = []
     offset = 0
     separate = 0
-    for network, strategy in workloads:
+    for (network, strategy), reps in zip(workloads, replication):
         strategy = tuple(strategy)
         if len(strategy) != network.num_layers:
             raise ValueError(
@@ -108,14 +127,23 @@ def allocate_multi_network(
                 f"{network.num_layers} layers"
             )
         model_mappings = [
-            map_layer(layer.with_index(offset + i), shape)
+            map_layer(
+                layer.with_index(offset + copy * network.num_layers + i),
+                shape,
+            )
+            for copy in range(reps)
             for i, (layer, shape) in enumerate(zip(network.layers, strategy))
         ]
         mappings.extend(model_mappings)
         slices.append(
-            ModelSlice(network.name, offset, offset + network.num_layers)
+            ModelSlice(
+                network.name,
+                offset,
+                offset + reps * network.num_layers,
+                replication=reps,
+            )
         )
-        offset += network.num_layers
+        offset += reps * network.num_layers
         solo = allocate_tile_based(model_mappings, tile_capacity)
         if tile_shared:
             solo = apply_tile_sharing(solo)

@@ -36,6 +36,8 @@ EVENT_ALLOC_GROUP = "alloc.group"     #: one shape group through Algorithm 1
 EVENT_CANDIDATE = "search.candidate"  #: one candidate probed by a strategy
 EVENT_EPISODE = "rl.episode"          #: one finished environment episode
 EVENT_SEARCH_RESULT = "search.result"
+EVENT_SERVE_REALLOC = "serve.realloc"  #: one Algorithm-1 re-pack applied
+EVENT_SERVE_REJECT = "serve.reject"    #: one arrival shed at the queue cap
 
 # -- counter streams -------------------------------------------------
 UTILIZATION = "sim.utilization"           #: Eq. 4 aggregate utilization
@@ -48,6 +50,14 @@ CACHE_HIT_RATE = "cache.hit_rate"
 CRITIC_LOSS = "rl.critic_loss"
 ACTOR_LOSS = "rl.actor_loss"
 EPISODE_REWARD = "rl.reward"              #: Eq. 2 reward per episode
+
+# -- serving streams (repro.serve, docs/serving.md) ------------------
+SERVE_LATENCY_NS = "serve.latency_ns"     #: per-request end-to-end latency
+SERVE_WAIT_NS = "serve.wait_ns"           #: queueing share of the latency
+SERVE_QUEUE_DEPTH = "serve.queue_depth"   #: tenant queue depth at completion
+SERVE_BATCH_SIZE = "serve.batch_size"     #: requests per pipeline dispatch
+SERVE_SLO_ATTAINMENT = "serve.slo_attainment"  #: rollup, per tenant
+SERVE_THROUGHPUT_RPS = "serve.throughput_rps"  #: rollup, per tenant
 
 
 def emit_system_metrics(
@@ -100,6 +110,49 @@ def emit_cache_stats(tracer: Tracer, stats: Any, *, context: str = "") -> None:
         tracer.counter("cache.audited", stats.audited, context=context)
     if getattr(stats, "audit_failures", 0):
         tracer.counter("cache.audit_failures", stats.audit_failures, context=context)
+
+
+def emit_serve_request(
+    tracer: Tracer,
+    *,
+    tenant: str,
+    latency_ns: float,
+    wait_ns: float,
+    queue_depth: int,
+) -> None:
+    """Stream one completed serving request (latency in nanoseconds)."""
+    if not tracer.enabled:
+        return
+    tracer.counter(SERVE_LATENCY_NS, latency_ns, tenant=tenant)
+    tracer.counter(SERVE_WAIT_NS, wait_ns, tenant=tenant)
+    tracer.counter(SERVE_QUEUE_DEPTH, queue_depth, tenant=tenant)
+
+
+def emit_serve_batch(tracer: Tracer, *, tenant: str, batch_size: int) -> None:
+    """Stream one pipeline dispatch."""
+    if not tracer.enabled:
+        return
+    tracer.counter(SERVE_BATCH_SIZE, batch_size, tenant=tenant)
+
+
+def emit_serve_summary(
+    tracer: Tracer,
+    *,
+    tenant: str,
+    slo_attainment: float,
+    throughput_rps: float,
+    p50_ns: float,
+    p95_ns: float,
+    p99_ns: float,
+) -> None:
+    """Stream one tenant's end-of-run SLO rollup."""
+    if not tracer.enabled:
+        return
+    tracer.counter(SERVE_SLO_ATTAINMENT, slo_attainment, tenant=tenant)
+    tracer.counter(SERVE_THROUGHPUT_RPS, throughput_rps, tenant=tenant)
+    tracer.counter(SERVE_LATENCY_NS, p50_ns, tenant=tenant, quantile="p50")
+    tracer.counter(SERVE_LATENCY_NS, p95_ns, tenant=tenant, quantile="p95")
+    tracer.counter(SERVE_LATENCY_NS, p99_ns, tenant=tenant, quantile="p99")
 
 
 def emit_episode(

@@ -1,0 +1,415 @@
+"""Deterministic discrete-event serving simulator.
+
+Drives request-level multi-tenant traffic (:mod:`repro.serve.scenario`)
+across models co-located by
+:func:`repro.core.allocation.allocate_multi_network`, with service times
+taken from the PipeLayer-style stage model in :mod:`repro.sim.pipeline`.
+
+Queueing model (docs/serving.md):
+
+* Each tenant owns a FIFO queue (bounded by ``queue_cap``; overflowing
+  arrivals are *rejected*) in front of its layer pipeline.
+* The pipeline is weight-stationary and streams: its input admits one
+  request every ``bottleneck_ns`` and each admitted request completes
+  ``fill_ns`` after entering.  Dispatch happens in batches of up to
+  ``max_batch`` — a batch of ``k`` occupies the input conveyor for
+  ``k * bottleneck_ns`` and its ``j``-th request completes at
+  ``dispatch + j * bottleneck_ns + fill_ns`` (exactly the
+  ``fill + (N-1) * bottleneck`` batch law of
+  :class:`repro.sim.pipeline.PipelineReport`).
+* A re-allocation (policy hook, :mod:`repro.serve.policy`) re-packs the
+  accelerator with per-tenant weight replication, re-times every
+  pipeline, and stalls dispatch for the configured weight-rewrite cost;
+  batches already in flight drain on the old weights.
+
+Determinism is a contract, not an accident: the event heap is ordered
+by ``(time, insertion sequence)``, all randomness flows from
+per-tenant blake2b-derived :class:`random.Random` streams, and nothing
+reads a wall clock — the same scenario and seed reproduce the event
+log byte for byte (``tests/serve/test_event_loop.py`` proves it with
+hypothesis).  Tracing is read-only: a live tracer adds ``serve.*``
+records but never changes an outcome.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..arch.config import DEFAULT_CONFIG, CrossbarShape, HardwareConfig
+from ..core.allocation.multi_model import (
+    MultiModelAllocation,
+    allocate_multi_network,
+)
+from ..models.graph import Network
+from ..models.zoo import get_model
+from ..obs import current_tracer
+from ..obs.metrics import (
+    EVENT_SERVE_REALLOC,
+    EVENT_SERVE_REJECT,
+    emit_serve_batch,
+    emit_serve_request,
+)
+from ..sim.pipeline import pipeline_report
+from ..sim.units_constants import NS_PER_S
+from .policy import DriftReallocationPolicy, ReallocationPolicy
+from .scenario import Scenario, generate_arrivals
+
+#: event kinds, in heap payload position 2 (tie-break is insertion seq)
+_ARRIVAL = 0
+_INPUT_FREE = 1
+_COMPLETE = 2
+_WAKE = 3
+
+
+@dataclass
+class _TenantState:
+    """Mutable per-tenant serving state."""
+
+    index: int
+    name: str
+    network: Network
+    strategy: tuple[CrossbarShape, ...]
+    slo_ns: float
+    bottleneck_ns: float
+    fill_ns: float
+    replication: int = 1
+    queue: deque = field(default_factory=deque)
+    input_busy: bool = False
+    stall_until_ns: float = 0.0
+    arrivals: int = 0
+    completed: int = 0
+    rejected: int = 0
+    latencies: list[float] = field(default_factory=list)
+    waits: list[float] = field(default_factory=list)
+
+    def retime(self, replication: int) -> None:
+        """Re-derive pipeline service times for a new replication factor."""
+        report = pipeline_report(
+            self.network,
+            self.strategy,
+            replication=[replication] * self.network.num_layers,
+        )
+        self.replication = replication
+        self.bottleneck_ns = report.bottleneck_ns
+        self.fill_ns = report.fill_ns
+
+
+@dataclass(frozen=True)
+class TenantResult:
+    """Immutable per-tenant outcome of one serving run."""
+
+    name: str
+    model: str
+    slo_ns: float
+    arrivals: int
+    completed: int
+    rejected: int
+    replication: int
+    latencies_ns: tuple[float, ...]
+    waits_ns: tuple[float, ...]
+
+    @property
+    def in_flight(self) -> int:
+        """Requests neither completed nor rejected at the horizon."""
+        return self.arrivals - self.completed - self.rejected
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Complete outcome of one serving run (input to the report layer)."""
+
+    scenario: Scenario
+    tenants: tuple[TenantResult, ...]
+    event_log: tuple[dict[str, Any], ...]
+    realloc_events: tuple[dict[str, Any], ...]
+    end_ns: float
+    events_processed: int
+    initial_tiles: int
+    final_tiles: int
+    tile_budget: int
+
+    @property
+    def total_arrivals(self) -> int:
+        return sum(t.arrivals for t in self.tenants)
+
+    @property
+    def total_completed(self) -> int:
+        return sum(t.completed for t in self.tenants)
+
+    @property
+    def total_rejected(self) -> int:
+        return sum(t.rejected for t in self.tenants)
+
+
+def simulate(
+    scenario: Scenario,
+    *,
+    config: HardwareConfig = DEFAULT_CONFIG,
+    policy: ReallocationPolicy | None = None,
+    tracer=None,
+    record_events: bool = True,
+) -> ServeResult:
+    """Run one serving scenario to completion.
+
+    ``policy`` overrides the default drift policy built from
+    ``scenario.realloc`` (pass one to plug in a custom re-allocation
+    strategy; it is only consulted when ``scenario.realloc.enabled``).
+    ``record_events`` keeps the full event log (on by default; the
+    throughput benchmark leaves it on too — logging is part of the
+    simulator's contract, not overhead to shed).
+    """
+    tracer = current_tracer() if tracer is None else tracer
+    capacity = config.logical_xbars_per_tile
+
+    # --- static setup: tenants, initial Algorithm-1 packing -----------
+    tenants: list[_TenantState] = []
+    for index, spec in enumerate(scenario.tenants):
+        network = get_model(spec.model)
+        strategy = spec.strategy_shapes(network.num_layers)
+        state = _TenantState(
+            index=index,
+            name=spec.name,
+            network=network,
+            strategy=strategy,
+            slo_ns=spec.slo_ns,
+            bottleneck_ns=0.0,
+            fill_ns=0.0,
+        )
+        state.retime(1)
+        tenants.append(state)
+
+    workloads = [(t.network, t.strategy) for t in tenants]
+    allocation = allocate_multi_network(workloads, capacity)
+    initial_tiles = allocation.occupied_tiles
+    tile_budget = int(scenario.realloc.headroom * initial_tiles)
+
+    realloc_cfg = scenario.realloc
+    if policy is None:
+        policy = DriftReallocationPolicy(
+            threshold=realloc_cfg.threshold,
+            cooldown_ns=realloc_cfg.cooldown_ns,
+        )
+
+    # --- arrivals ------------------------------------------------------
+    heap: list[tuple[float, int, int, int, int, float]] = []
+    seq = 0
+
+    def push(t: float, kind: int, tenant: int, req: int, arrival: float):
+        nonlocal seq
+        heapq.heappush(heap, (t, seq, kind, tenant, req, arrival))
+        seq += 1
+
+    per_tenant_arrivals = [
+        generate_arrivals(spec, scenario.duration_ns, scenario.seed)
+        for spec in scenario.tenants
+    ]
+    merged = sorted(
+        (t, idx)
+        for idx, times in enumerate(per_tenant_arrivals)
+        for t in times
+    )
+    for req_id, (t, idx) in enumerate(merged):
+        push(t, _ARRIVAL, idx, req_id, t)
+
+    # Provisioned mix: what the initial allocation was sized for.
+    expected_rates = [
+        len(times) / scenario.duration_ns * NS_PER_S
+        for times in per_tenant_arrivals
+    ]
+    rate_total = sum(expected_rates)
+    provisioned_share = [
+        (r / rate_total if rate_total else 1.0 / len(tenants))
+        for r in expected_rates
+    ]
+
+    # --- event loop ----------------------------------------------------
+    log: list[dict[str, Any]] = []
+    realloc_log: list[dict[str, Any]] = []
+    window: deque = deque(maxlen=realloc_cfg.window)
+    arrivals_seen = 0
+    last_realloc_ns = float("-inf")
+    current_replication = [1] * len(tenants)
+    events_processed = 0
+    end_ns = scenario.duration_ns
+    traced = tracer.enabled
+
+    def dispatch(state: _TenantState, now: float) -> None:
+        """Admit up to ``max_batch`` queued requests into the pipeline."""
+        if state.input_busy or now < state.stall_until_ns or not state.queue:
+            return
+        k = min(scenario.max_batch, len(state.queue))
+        b = state.bottleneck_ns
+        for j in range(k):
+            req_id, arrival = state.queue.popleft()
+            done = now + j * b + state.fill_ns
+            push(done, _COMPLETE, state.index, req_id, arrival)
+        state.input_busy = True
+        push(now + k * b, _INPUT_FREE, state.index, -1, now)
+        if record_events:
+            log.append(
+                {"t": now, "kind": "dispatch", "tenant": state.name, "batch": k}
+            )
+        if traced:
+            emit_serve_batch(tracer, tenant=state.name, batch_size=k)
+
+    def apply_realloc(decision, now: float) -> None:
+        nonlocal last_realloc_ns, provisioned_share, current_replication
+        last_realloc_ns = now
+        provisioned_share = list(decision.observed_share)
+        current_replication = list(decision.replication)
+        for state, reps in zip(tenants, decision.replication):
+            if state.replication != reps:
+                state.retime(reps)
+            state.stall_until_ns = now + realloc_cfg.stall_ns
+            # Idle tenants need a wake-up once the weight rewrite ends.
+            if not state.input_busy:
+                push(now + realloc_cfg.stall_ns, _WAKE, state.index, -1, now)
+        entry = {
+            "t": now,
+            "kind": "realloc",
+            "replication": list(decision.replication),
+            "tiles": decision.allocation.occupied_tiles,
+            "tiles_saved": decision.allocation.tiles_saved,
+            "drift": decision.drift,
+            "observed_share": list(decision.observed_share),
+        }
+        realloc_log.append(entry)
+        if record_events:
+            log.append(dict(entry))
+        if traced:
+            tracer.event(
+                EVENT_SERVE_REALLOC,
+                tiles=decision.allocation.occupied_tiles,
+                drift=decision.drift,
+                replication=",".join(map(str, decision.replication)),
+            )
+
+    def maybe_realloc(now: float) -> None:
+        if not realloc_cfg.enabled or len(window) < realloc_cfg.window:
+            return
+        if arrivals_seen % realloc_cfg.check_every:
+            return
+        counts = [0] * len(tenants)
+        for idx in window:
+            counts[idx] += 1
+        observed = [c / len(window) for c in counts]
+        decision = policy.decide(
+            now_ns=now,
+            observed_share=observed,
+            provisioned_share=provisioned_share,
+            current_replication=current_replication,
+            workloads=workloads,
+            tile_capacity=capacity,
+            tile_budget=tile_budget,
+            last_realloc_ns=last_realloc_ns,
+        )
+        if decision is not None:
+            apply_realloc(decision, now)
+
+    while heap:
+        t, _, kind, idx, req_id, arrival = heapq.heappop(heap)
+        if not scenario.drain and t > scenario.duration_ns:
+            break
+        events_processed += 1
+        state = tenants[idx]
+        if kind == _ARRIVAL:
+            state.arrivals += 1
+            arrivals_seen += 1
+            window.append(idx)
+            if scenario.queue_cap and len(state.queue) >= scenario.queue_cap:
+                state.rejected += 1
+                if record_events:
+                    log.append(
+                        {"t": t, "kind": "reject", "tenant": state.name,
+                         "req": req_id}
+                    )
+                if traced:
+                    tracer.event(EVENT_SERVE_REJECT, tenant=state.name)
+            else:
+                state.queue.append((req_id, arrival))
+                if record_events:
+                    log.append(
+                        {"t": t, "kind": "arrival", "tenant": state.name,
+                         "req": req_id}
+                    )
+                dispatch(state, t)
+            maybe_realloc(t)
+        elif kind == _INPUT_FREE:
+            state.input_busy = False
+            if t < state.stall_until_ns:
+                # Weight rewrite in progress: resume when it ends.
+                push(state.stall_until_ns, _WAKE, state.index, -1, t)
+            else:
+                dispatch(state, t)
+        elif kind == _COMPLETE:
+            state.completed += 1
+            latency = t - arrival
+            # (arrival + fill) - arrival rounds below fill for large
+            # arrival times; the queueing share is never negative.
+            wait = max(0.0, latency - state.fill_ns)
+            state.latencies.append(latency)
+            state.waits.append(wait)
+            if record_events:
+                log.append(
+                    {"t": t, "kind": "complete", "tenant": state.name,
+                     "req": req_id, "latency_ns": latency}
+                )
+            if traced:
+                emit_serve_request(
+                    tracer,
+                    tenant=state.name,
+                    latency_ns=latency,
+                    wait_ns=wait,
+                    queue_depth=len(state.queue),
+                )
+            if scenario.drain and t > end_ns:
+                end_ns = t
+        else:  # _WAKE after a re-allocation stall
+            dispatch(state, t)
+
+    if any(r != 1 for r in current_replication):
+        final_tiles = allocate_multi_network(
+            workloads, capacity, replication=current_replication
+        ).occupied_tiles
+    else:
+        final_tiles = initial_tiles
+
+    results = tuple(
+        TenantResult(
+            name=s.name,
+            model=spec.model,
+            slo_ns=s.slo_ns,
+            arrivals=s.arrivals,
+            completed=s.completed,
+            rejected=s.rejected,
+            replication=s.replication,
+            latencies_ns=tuple(s.latencies),
+            waits_ns=tuple(s.waits),
+        )
+        for s, spec in zip(tenants, scenario.tenants)
+    )
+    return ServeResult(
+        scenario=scenario,
+        tenants=results,
+        event_log=tuple(log),
+        realloc_events=tuple(realloc_log),
+        end_ns=end_ns,
+        events_processed=events_processed,
+        initial_tiles=initial_tiles,
+        final_tiles=final_tiles,
+        tile_budget=tile_budget,
+    )
+
+
+def initial_allocation(
+    scenario: Scenario, *, config: HardwareConfig = DEFAULT_CONFIG
+) -> MultiModelAllocation:
+    """The Algorithm-1 packing a scenario starts from (no replication)."""
+    workloads = []
+    for spec in scenario.tenants:
+        network = get_model(spec.model)
+        workloads.append((network, spec.strategy_shapes(network.num_layers)))
+    return allocate_multi_network(workloads, config.logical_xbars_per_tile)

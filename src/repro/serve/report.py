@@ -1,0 +1,170 @@
+"""SLO reports over serving runs, rolled up through ``repro.obs``.
+
+Turns a :class:`repro.serve.engine.ServeResult` into the JSON document
+``repro serve`` emits: per-tenant p50/p95/p99 latency (nearest-rank, the
+same :func:`repro.obs.summary.percentile` every trace rollup uses), SLO
+attainment, throughput, conservation counts, and the re-allocation
+history.  :func:`validate_report` is the schema gate the CLI smoke tests
+and the golden regression hold the document to; :func:`emit_report`
+streams the rollups onto the ``serve.*`` counter streams so a traced run
+carries its own summary.
+
+SLO attainment is defined over *finished* requests: completions within
+the tenant's ``slo_ns`` divided by completions plus rejections.
+Requests still queued or in the pipeline at the horizon (``in_flight``)
+are excluded — they have no outcome yet — but conservation over all
+three buckets is part of the schema (``arrivals == completed +
+rejected + in_flight``) and is checked by :func:`validate_report`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..obs.metrics import emit_serve_summary
+from ..obs.summary import percentile
+from ..sim.units_constants import NS_PER_S
+from .engine import ServeResult, TenantResult
+
+#: bumped on report-format change; validated by :func:`validate_report`
+REPORT_SCHEMA_VERSION = 1
+
+_TENANT_FIELDS = (
+    "model", "arrivals", "completed", "rejected", "in_flight",
+    "replication", "slo_ns", "slo_attainment", "throughput_rps",
+    "p50_ns", "p95_ns", "p99_ns", "mean_ns", "max_ns",
+)
+
+
+def tenant_rollup(tenant: TenantResult, end_ns: float) -> dict[str, Any]:
+    """Per-tenant latency/SLO rollup (percentiles via ``repro.obs``)."""
+    latencies = sorted(tenant.latencies_ns)
+    finished = tenant.completed + tenant.rejected
+    within = sum(1 for v in tenant.latencies_ns if v <= tenant.slo_ns)
+    attainment = within / finished if finished else 1.0
+    seconds = end_ns / NS_PER_S
+    return {
+        "model": tenant.model,
+        "arrivals": tenant.arrivals,
+        "completed": tenant.completed,
+        "rejected": tenant.rejected,
+        "in_flight": tenant.in_flight,
+        "replication": tenant.replication,
+        "slo_ns": tenant.slo_ns,
+        "slo_attainment": attainment,
+        "throughput_rps": tenant.completed / seconds if seconds else 0.0,
+        "p50_ns": percentile(latencies, 0.50) if latencies else None,
+        "p95_ns": percentile(latencies, 0.95) if latencies else None,
+        "p99_ns": percentile(latencies, 0.99) if latencies else None,
+        "mean_ns": sum(latencies) / len(latencies) if latencies else None,
+        "max_ns": latencies[-1] if latencies else None,
+    }
+
+
+def build_report(result: ServeResult) -> dict[str, Any]:
+    """The full JSON report document for one serving run."""
+    tenants = {
+        t.name: tenant_rollup(t, result.end_ns) for t in result.tenants
+    }
+    return {
+        "schema": REPORT_SCHEMA_VERSION,
+        "scenario": result.scenario.name,
+        "seed": result.scenario.seed,
+        "duration_ns": result.scenario.duration_ns,
+        "end_ns": result.end_ns,
+        "events_processed": result.events_processed,
+        "requests": {
+            "arrivals": result.total_arrivals,
+            "completed": result.total_completed,
+            "rejected": result.total_rejected,
+            "in_flight": (
+                result.total_arrivals
+                - result.total_completed
+                - result.total_rejected
+            ),
+        },
+        "allocation": {
+            "initial_tiles": result.initial_tiles,
+            "final_tiles": result.final_tiles,
+            "tile_budget": result.tile_budget,
+        },
+        "realloc_events": list(result.realloc_events),
+        "tenants": tenants,
+    }
+
+
+def validate_report(doc: Any) -> list[str]:
+    """Problems with a serve report document (empty list = valid)."""
+    if not isinstance(doc, dict):
+        return [f"report is {type(doc).__name__}, not an object"]
+    problems: list[str] = []
+    if doc.get("schema") != REPORT_SCHEMA_VERSION:
+        problems.append(
+            f"schema {doc.get('schema')!r} != {REPORT_SCHEMA_VERSION}"
+        )
+    for key in ("scenario", "seed", "duration_ns", "end_ns",
+                "events_processed", "requests", "allocation",
+                "realloc_events", "tenants"):
+        if key not in doc:
+            problems.append(f"missing required field {key!r}")
+    requests = doc.get("requests")
+    if isinstance(requests, dict):
+        for key in ("arrivals", "completed", "rejected", "in_flight"):
+            if not isinstance(requests.get(key), int):
+                problems.append(f"requests.{key} must be an integer")
+        if all(isinstance(requests.get(k), int) for k in
+               ("arrivals", "completed", "rejected", "in_flight")):
+            if requests["arrivals"] != (
+                requests["completed"]
+                + requests["rejected"]
+                + requests["in_flight"]
+            ):
+                problems.append(
+                    "conservation violated: arrivals != "
+                    "completed + rejected + in_flight"
+                )
+    tenants = doc.get("tenants")
+    if isinstance(tenants, dict):
+        for name, entry in tenants.items():
+            if not isinstance(entry, dict):
+                problems.append(f"tenant {name!r} entry must be an object")
+                continue
+            for key in _TENANT_FIELDS:
+                if key not in entry:
+                    problems.append(f"tenant {name!r} missing field {key!r}")
+            attainment = entry.get("slo_attainment")
+            if isinstance(attainment, (int, float)) and not (
+                0.0 <= attainment <= 1.0
+            ):
+                problems.append(
+                    f"tenant {name!r} slo_attainment out of [0, 1]"
+                )
+            if (
+                isinstance(entry.get("arrivals"), int)
+                and isinstance(entry.get("completed"), int)
+                and isinstance(entry.get("rejected"), int)
+                and isinstance(entry.get("in_flight"), int)
+                and entry["arrivals"] != (
+                    entry["completed"] + entry["rejected"] + entry["in_flight"]
+                )
+            ):
+                problems.append(f"tenant {name!r} conservation violated")
+    return problems
+
+
+def emit_report(tracer, report: dict[str, Any]) -> None:
+    """Stream the per-tenant rollups onto the ``serve.*`` counters."""
+    if not tracer.enabled:
+        return
+    for name, entry in report["tenants"].items():
+        if entry["p50_ns"] is None:
+            continue
+        emit_serve_summary(
+            tracer,
+            tenant=name,
+            slo_attainment=entry["slo_attainment"],
+            throughput_rps=entry["throughput_rps"],
+            p50_ns=entry["p50_ns"],
+            p95_ns=entry["p95_ns"],
+            p99_ns=entry["p99_ns"],
+        )

@@ -1,0 +1,111 @@
+"""Golden-snapshot regression for the two-tenant serving scenario.
+
+``golden_two_tenant.json`` pins the full ``repro serve`` report for the
+checked-in AlexNet + VGG16 reference scenario (seed 0): per-tenant
+p50/p95/p99/mean/max latency, SLO attainment, throughput, conservation
+counts, the re-allocation history, and the tile numbers.  The simulator
+is deterministic closed-form float math end to end, so the snapshot is
+compared at near-machine precision — any drift is a claimed change to
+the serving model and must regenerate the snapshot *in the same commit*.
+
+Regenerate with::
+
+    PYTHONPATH=src python tests/serve/test_golden_scenario.py --regen
+"""
+
+import json
+import math
+from pathlib import Path
+
+from repro.serve import build_report, simulate, two_tenant_scenario
+
+GOLDEN_PATH = Path(__file__).with_name("golden_two_tenant.json")
+
+RELATIVE_TOLERANCE = 1e-9
+
+
+def compute_report():
+    return build_report(simulate(two_tenant_scenario()))
+
+
+def _diff(got, want, path, mismatches):
+    """Recursive near-exact compare (floats via isclose)."""
+    if isinstance(want, dict):
+        if not isinstance(got, dict) or sorted(got) != sorted(want):
+            mismatches.append(f"{path}: keys {sorted(got)} != {sorted(want)}")
+            return
+        for key in want:
+            _diff(got[key], want[key], f"{path}.{key}", mismatches)
+    elif isinstance(want, list):
+        if not isinstance(got, list) or len(got) != len(want):
+            mismatches.append(f"{path}: length differs")
+            return
+        for i, (g, w) in enumerate(zip(got, want)):
+            _diff(g, w, f"{path}[{i}]", mismatches)
+    elif isinstance(want, bool) or not isinstance(want, (int, float)):
+        if got != want:
+            mismatches.append(f"{path}: {got!r} != {want!r}")
+    elif isinstance(want, int) and isinstance(got, int):
+        if got != want:
+            mismatches.append(f"{path}: {got!r} != {want!r}")
+    else:
+        if got is None or want is None:
+            if got is not want:
+                mismatches.append(f"{path}: {got!r} != {want!r}")
+        elif not math.isclose(got, want, rel_tol=RELATIVE_TOLERANCE):
+            mismatches.append(f"{path}: {got!r} != {want!r}")
+
+
+class TestGoldenScenario:
+    def test_snapshot_exists(self):
+        assert GOLDEN_PATH.exists(), (
+            "golden snapshot missing — regenerate with "
+            "PYTHONPATH=src python tests/serve/test_golden_scenario.py --regen"
+        )
+
+    def test_report_matches_snapshot(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        current = json.loads(json.dumps(compute_report()))
+        mismatches = []
+        _diff(current, golden, "report", mismatches)
+        assert not mismatches, (
+            "serving output drifted from the golden snapshot:\n  "
+            + "\n  ".join(mismatches[:20])
+            + "\nIf the change is intended, regenerate with "
+            "PYTHONPATH=src python tests/serve/test_golden_scenario.py --regen"
+        )
+
+    def test_snapshot_sanity(self):
+        """The pinned numbers stay a plausible serving outcome."""
+        golden = json.loads(GOLDEN_PATH.read_text())
+        requests = golden["requests"]
+        assert requests["arrivals"] == (
+            requests["completed"]
+            + requests["rejected"]
+            + requests["in_flight"]
+        )
+        # The scenario exists to exercise the re-pack path: the traffic
+        # inversion at 100 ms must trigger at least one re-allocation.
+        assert len(golden["realloc_events"]) >= 1
+        assert golden["realloc_events"][0]["replication"] != [1, 1]
+        assert (
+            golden["allocation"]["final_tiles"]
+            <= golden["allocation"]["tile_budget"]
+        )
+        for name, entry in golden["tenants"].items():
+            assert 0.0 <= entry["slo_attainment"] <= 1.0, name
+            assert entry["p50_ns"] <= entry["p95_ns"] <= entry["p99_ns"], name
+            assert entry["completed"] > 0, name
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit(
+            "usage: python tests/serve/test_golden_scenario.py --regen"
+        )
+    GOLDEN_PATH.write_text(
+        json.dumps(compute_report(), indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {GOLDEN_PATH}")

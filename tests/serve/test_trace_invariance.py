@@ -1,0 +1,99 @@
+"""Trace invariance + stream hygiene for the serving simulator.
+
+Instrumentation is read-only: running the identical scenario with a
+live tracer (ambient or explicit) must produce byte-identical outcomes
+to an untraced run.  And everything the engine emits must be
+well-formed — schema-v1 records, ``serve.*`` names declared in the
+units table (the UNI005 contract: latency counters carry ``ns``).
+"""
+
+import json
+
+from repro.arch.config import UNIT_TABLE
+from repro.obs import Tracer, use_tracer, validate_record
+from repro.obs.sinks import InMemorySink
+from repro.serve import (
+    ArrivalPhase,
+    ReallocConfig,
+    Scenario,
+    TenantSpec,
+    build_report,
+    emit_report,
+    simulate,
+)
+
+#: small scenario exercising every emitter: the lenet phase shift
+#: drives a re-allocation, the tinycnn burst overflows its queue
+BUSY = Scenario(
+    name="busy",
+    duration_ns=4e7,
+    seed=3,
+    max_batch=4,
+    queue_cap=4,
+    realloc=ReallocConfig(
+        enabled=True, threshold=0.15, window=8, check_every=4,
+        stall_ns=5e4, cooldown_ns=1e6, headroom=4.0,
+    ),
+    tenants=(
+        TenantSpec(
+            name="steady", model="lenet", shape="64x64",
+            rate_rps=1500.0,
+            phases=(ArrivalPhase(at_ns=2e7, rate_rps=6000.0),),
+            slo_ns=1e6,
+        ),
+        TenantSpec(
+            name="bursty", model="tinycnn", shape="64x64",
+            trace_ns=tuple([1e7] * 24),
+            slo_ns=1e6,
+        ),
+    ),
+)
+
+
+def traced_run(scenario):
+    sink = InMemorySink()
+    tracer = Tracer([sink])
+    with use_tracer(tracer):
+        result = simulate(scenario)
+        report = build_report(result)
+        emit_report(tracer, report)
+    return result, report, sink.records
+
+
+class TestTraceInvariance:
+    def test_tracing_changes_nothing(self):
+        plain = simulate(BUSY)
+        traced, traced_report, records = traced_run(BUSY)
+        assert records, "live tracer emitted nothing"
+        assert json.dumps(list(plain.event_log)) == json.dumps(
+            list(traced.event_log)
+        )
+        assert json.dumps(build_report(plain), sort_keys=True) == json.dumps(
+            traced_report, sort_keys=True
+        )
+
+    def test_scenario_exercises_every_emitter(self):
+        """The fixture is only a fixture while it rejects AND re-packs."""
+        result = simulate(BUSY)
+        assert result.total_rejected > 0
+        assert len(result.realloc_events) >= 1
+
+    def test_records_are_schema_valid_serve_streams(self):
+        _, _, records = traced_run(BUSY)
+        for record in records:
+            assert validate_record(record) == [], record
+            assert record["name"].startswith("serve."), record["name"]
+
+    def test_counter_streams_declared_with_units(self):
+        """Every serve counter is in the units table; UNI005's contract
+        that ``*_ns`` streams are declared in nanoseconds holds."""
+        _, _, records = traced_run(BUSY)
+        streams = UNIT_TABLE["obs.streams"]
+        counters = {r["name"] for r in records if r["type"] == "counter"}
+        assert counters, "no counter records emitted"
+        for name in counters:
+            assert name in streams, f"{name} missing from UNIT_TABLE"
+            if name.endswith("_ns"):
+                assert streams[name] == "ns", name
+        # Both per-request and rollup latency land on the same stream.
+        assert "serve.latency_ns" in counters

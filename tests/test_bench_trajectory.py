@@ -94,7 +94,11 @@ class TestMain:
         from pathlib import Path
 
         root = Path(__file__).resolve().parents[1]
-        for name in ("BENCH_vectorized.json", "BENCH_search_time.json"):
+        for name in (
+            "BENCH_vectorized.json",
+            "BENCH_search_time.json",
+            "BENCH_serve.json",
+        ):
             history = json.loads((root / name).read_text())
             assert isinstance(history, list) and history, name
             for record in history:

@@ -25,6 +25,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "two-tenant"])
+        assert args.scenario == "two-tenant"
+        assert args.seed is None
+        assert args.duration_s is None
+        assert not args.no_realloc
+        assert args.out is None
+
 
 class TestCommands:
     def test_models_lists_workloads(self, capsys):
@@ -103,3 +111,32 @@ class TestCommands:
                 "experiment", "search-time",
                 "--export", str(tmp_path / "x.json"),
             ])
+
+    def test_serve_builtin_overrides(self, capsys):
+        assert main([
+            "serve", "two-tenant", "--seed", "3",
+            "--duration-s", "0.05", "--no-realloc",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "seed 3" in out
+        assert "0 re-allocation(s)" in out
+        assert "per-tenant SLO report" in out
+
+    def test_serve_scenario_file_and_trace(self, capsys, tmp_path):
+        from repro.serve import save_scenario, two_tenant_scenario
+
+        scenario_path = tmp_path / "scenario.json"
+        save_scenario(
+            two_tenant_scenario(duration_ns=5e7, realloc=False),
+            scenario_path,
+        )
+        trace_path = tmp_path / "trace.jsonl"
+        assert main([
+            "serve", str(scenario_path), "--trace", str(trace_path),
+        ]) == 0
+        assert trace_path.exists()
+        assert "trace records" in capsys.readouterr().out
+
+    def test_serve_unknown_scenario_errors(self):
+        with pytest.raises(SystemExit, match="cannot load scenario"):
+            main(["serve", "no-such-scenario"])

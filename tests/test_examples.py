@@ -68,14 +68,34 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "Chosen shapes by projection kind" in out
 
-    @pytest.mark.slow
-    def test_multi_tenant(self, capsys):
-        run_example("multi_tenant.py")
+    def test_multi_tenant_reduced(self, capsys):
+        run_example("multi_tenant.py", ["8"])
         out = capsys.readouterr().out
         assert "Co-locating" in out
+        assert "Serving the co-located pair online" in out
+        # The reference scenario's traffic inversion must trigger the
+        # drift re-pack on the way through.
+        assert "re-packed to replication" in out
+        assert "SLO" in out
 
     @pytest.mark.slow
     def test_pipeline_throughput(self, capsys):
         run_example("pipeline_throughput.py")
         out = capsys.readouterr().out
         assert "Replication sweep" in out
+
+    def test_serve_cli_smoke(self, capsys, tmp_path):
+        """The ``repro serve`` entry point the example points users at:
+        runs the builtin scenario, exits 0, writes a valid report."""
+        import json
+
+        from repro.cli import main
+        from repro.serve import validate_report
+
+        out_path = tmp_path / "report.json"
+        assert main(["serve", "two-tenant", "--out", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        assert validate_report(report) == []
+        out = capsys.readouterr().out
+        assert "per-tenant SLO report" in out
+        assert "re-allocation" in out
